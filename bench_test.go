@@ -1,0 +1,212 @@
+// Package repro's root benchmark harness: one testing.B benchmark per
+// table and figure of the paper's evaluation. Each benchmark runs the
+// corresponding experiment on the reduced (Quick) workload subset and
+// reports the headline quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the whole evaluation in miniature. For the full 26-workload
+// numbers recorded in EXPERIMENTS.md, run `go run ./cmd/sweepexp -exp all`.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/exp"
+	"repro/internal/trace"
+)
+
+func quickCtx() *exp.Context {
+	c := exp.DefaultContext()
+	c.Quick = true
+	return c
+}
+
+func BenchmarkFig5OutageFree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := quickCtx().Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.GeoAll[arch.SweepEmptyBit], "sweep-speedup")
+		b.ReportMetric(r.GeoAll[arch.NVSRAM], "nvsram-speedup")
+		b.ReportMetric(r.GeoAll[arch.ReplayCache], "replay-speedup")
+	}
+}
+
+func BenchmarkFig6RFHome(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := quickCtx().Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.GeoAll[arch.SweepEmptyBit], "sweep-speedup")
+	}
+}
+
+func BenchmarkFig7RFOffice(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := quickCtx().Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.GeoAll[arch.SweepEmptyBit], "sweep-speedup")
+		b.ReportMetric(r.GeoAll[arch.NVSRAM], "nvsram-speedup")
+	}
+}
+
+func BenchmarkParallelismEfficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := quickCtx().Parallelism()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.OutageFree, "eff-outagefree-%")
+		b.ReportMetric(100*r.WithOutage, "eff-outage-%")
+	}
+}
+
+func BenchmarkFig8CacheSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := quickCtx().Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Speedup[16<<10][arch.SweepEmptyBit], "sweep-16kB")
+		b.ReportMetric(r.Speedup[512][arch.SweepEmptyBit], "sweep-512B")
+	}
+}
+
+func BenchmarkFig9CapacitorSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := quickCtx().Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Outages[470e-9][arch.NVP], "nvp-outages-470nF")
+		b.ReportMetric(r.Outages[470e-9][arch.SweepEmptyBit], "sweep-outages-470nF")
+	}
+}
+
+func BenchmarkFig10Traces(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := quickCtx().Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Speedup[trace.RFOffice][arch.SweepEmptyBit], "sweep-rfoffice")
+		b.ReportMetric(r.Speedup[trace.Thermal][arch.SweepEmptyBit], "sweep-thermal")
+	}
+}
+
+func BenchmarkFig11PropagationDelay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := quickCtx().Fig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.SlowSweep.Relative[470e-9][arch.SweepEmptyBit], "slow-sweep-470nF")
+		b.ReportMetric(r.FastJIT.Relative[470e-9][arch.NVSRAM], "fast-nvsram-470nF")
+	}
+}
+
+func BenchmarkFig12RegionStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := quickCtx().Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MeanRegionSize, "region-size")
+		b.ReportMetric(r.MeanStores, "stores-per-region")
+	}
+}
+
+func BenchmarkICount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := quickCtx().ICount()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ReplayOverSweep, "replay-over-sweep")
+		b.ReportMetric(r.SweepOverNVSRAM, "sweep-over-nvsram")
+	}
+}
+
+func BenchmarkFig13Energy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := quickCtx().Fig13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.TotalPct[arch.SweepEmptyBit], "sweep-total-%")
+		b.ReportMetric(r.TotalPct[arch.ReplayCache], "replay-total-%")
+	}
+}
+
+func BenchmarkFig14NvMR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := quickCtx().Fig14()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.SpeedupSweep[470e-9]/r.SpeedupNvMR[470e-9], "sweep-over-nvmr-470nF")
+		b.ReportMetric(r.EnergySaving[470e-9], "energy-saving-%")
+	}
+}
+
+func BenchmarkFig15MissRates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := quickCtx().Fig15()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MissRate[trace.RFOffice][arch.SweepEmptyBit], "sweep-miss-%")
+		b.ReportMetric(r.MissRate[trace.RFOffice][arch.ReplayCache], "replay-miss-%")
+	}
+}
+
+func BenchmarkFig16NVMWrites(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := quickCtx().Fig16()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Normalized[trace.RFOffice][arch.SweepEmptyBit], "sweep-writes-x")
+		b.ReportMetric(r.Normalized[trace.RFOffice][arch.ReplayCache], "replay-writes-x")
+	}
+}
+
+func BenchmarkTable2Outages(b *testing.B) {
+	// Table 2 shares Figure 9's sweep; benchmark the 100 nF corner where
+	// outage counts peak.
+	for i := 0; i < b.N; i++ {
+		r, err := quickCtx().Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Outages[100e-9][arch.NVP], "nvp-outages-100nF")
+	}
+}
+
+func BenchmarkDegradation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := quickCtx().Degradation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Slowdown20, "slowdown-20%")
+		b.ReportMetric(r.Slowdown40, "slowdown-40%")
+	}
+}
+
+func BenchmarkThresholdSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := quickCtx().Threshold()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MeanStores[64], "stores-at-64")
+		b.ReportMetric(r.MeanStores[256], "stores-at-256")
+	}
+}

@@ -1,0 +1,157 @@
+// Command sweepexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	sweepexp -exp fig5            # one experiment
+//	sweepexp -exp all             # everything (EXPERIMENTS.md source)
+//	sweepexp -exp fig7 -quick     # reduced workload subset
+//	sweepexp -list                # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/exp"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(c *exp.Context) error
+}
+
+// csvDir, when set by -csv, receives <experiment>.csv exports for the
+// figures that support them.
+var csvDir string
+
+// exportCSV writes one figure's CSV when -csv is in effect.
+func exportCSV(name string, write func(w io.Writer) error) error {
+	if csvDir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(csvDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return write(f)
+}
+
+var experiments = []experiment{
+	{"table1", "simulation configuration", func(c *exp.Context) error { c.Table1(); return nil }},
+	{"fig5", "outage-free speedups over NVP", func(c *exp.Context) error {
+		r, err := c.Fig5()
+		if err != nil {
+			return err
+		}
+		if c.Out != nil {
+			fmt.Fprintln(c.Out, r.Chart())
+		}
+		return exportCSV("fig5", r.WriteCSV)
+	}},
+	{"fig6", "RFHome speedups over NVP", func(c *exp.Context) error {
+		r, err := c.Fig6()
+		if err != nil {
+			return err
+		}
+		return exportCSV("fig6", r.WriteCSV)
+	}},
+	{"fig7", "RFOffice speedups over NVP", func(c *exp.Context) error {
+		r, err := c.Fig7()
+		if err != nil {
+			return err
+		}
+		return exportCSV("fig7", r.WriteCSV)
+	}},
+	{"par", "Sec 6.3 parallelism efficiency", func(c *exp.Context) error { _, err := c.Parallelism(); return err }},
+	{"fig8", "cache-size sensitivity", func(c *exp.Context) error { _, err := c.Fig8(); return err }},
+	{"fig9", "capacitor sensitivity + Table 2 outages", func(c *exp.Context) error {
+		r, err := c.Fig9()
+		if err != nil {
+			return err
+		}
+		return exportCSV("fig9", r.WriteCSV)
+	}},
+	{"fig10", "power-trace comparison", func(c *exp.Context) error {
+		r, err := c.Fig10()
+		if err != nil {
+			return err
+		}
+		return exportCSV("fig10", r.WriteCSV)
+	}},
+	{"fig11", "propagation-delay sensitivity", func(c *exp.Context) error { _, err := c.Fig11(); return err }},
+	{"fig12", "region size / store count CDFs", func(c *exp.Context) error {
+		r, err := c.Fig12()
+		if err != nil {
+			return err
+		}
+		return exportCSV("fig12", r.WriteCSV)
+	}},
+	{"icount", "Sec 6.5 instruction counts", func(c *exp.Context) error { _, err := c.ICount(); return err }},
+	{"fig13", "backup/restore energy breakdown", func(c *exp.Context) error { _, err := c.Fig13(); return err }},
+	{"fig14", "SweepCache vs NvMR", func(c *exp.Context) error { _, err := c.Fig14(); return err }},
+	{"fig15", "cache miss rates per trace", func(c *exp.Context) error { _, err := c.Fig15(); return err }},
+	{"fig16", "NVM writes normalized to NVSRAM", func(c *exp.Context) error { _, err := c.Fig16(); return err }},
+	{"hwcost", "Sec 6.9 hardware cost", func(c *exp.Context) error { c.HWCost(); return nil }},
+	{"degradation", "Sec 2.2 backup-threshold ablation", func(c *exp.Context) error { _, err := c.Degradation(); return err }},
+	{"threshold", "Sec 6.4 store-threshold study", func(c *exp.Context) error { _, err := c.Threshold(); return err }},
+	{"ablation", "design-choice ablations (dual-buffer, empty-bit, unrolling)", func(c *exp.Context) error {
+		r, err := c.Ablation()
+		if err == nil && c.Out != nil {
+			fmt.Fprintln(c.Out, r.Chart())
+		}
+		return err
+	}},
+	{"recovery", "per-outage recovery latency (Sec 2.2 slow-recovery claim)", func(c *exp.Context) error { _, err := c.Recovery(); return err }},
+	{"vmin", "Table 1 footnote: SweepCache with Vmin 1.8 V", func(c *exp.Context) error { _, err := c.Vmin(); return err }},
+	{"wt", "Figure 1(b) naive write-through baseline", func(c *exp.Context) error { _, err := c.WT(); return err }},
+}
+
+func main() {
+	name := flag.String("exp", "all", "experiment name or 'all'")
+	csv := flag.String("csv", "", "directory to export figure CSVs into")
+	quick := flag.Bool("quick", false, "run the reduced workload subset")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	seed := flag.Int64("seed", 1, "power-trace seed")
+	list := flag.Bool("list", false, "list experiments")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-12s %s\n", e.name, e.desc)
+		}
+		return
+	}
+
+	csvDir = *csv
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "sweepexp: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	ctx := exp.DefaultContext()
+	ctx.Quick = *quick
+	ctx.Scale = *scale
+	ctx.Seed = *seed
+	ctx.Out = os.Stdout
+
+	ran := false
+	for _, e := range experiments {
+		if *name == "all" || *name == e.name {
+			ran = true
+			if err := e.run(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "sweepexp: %s: %v\n", e.name, err)
+				os.Exit(1)
+			}
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "sweepexp: unknown experiment %q (use -list)\n", *name)
+		os.Exit(1)
+	}
+}

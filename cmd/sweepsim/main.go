@@ -1,0 +1,127 @@
+// Command sweepsim runs one benchmark on one scheme under one power trace
+// and prints a full report: timing, outages, energy ledger, cache and
+// persist-buffer behaviour, and region statistics.
+//
+// Usage:
+//
+//	sweepsim -bench sha -scheme sweep-eb -trace rfoffice
+//	sweepsim -bench dijkstra -scheme nvp -trace none
+//	sweepsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+var schemeNames = map[string]arch.Kind{
+	"nvp":       arch.NVP,
+	"wt":        arch.WTVCache,
+	"nvsram":    arch.NVSRAM,
+	"nvsram-e":  arch.NVSRAME,
+	"replay":    arch.ReplayCache,
+	"sweep-nvm": arch.SweepNVMSearch,
+	"sweep-eb":  arch.SweepEmptyBit,
+	"nvmr":      arch.NvMR,
+}
+
+var traceNames = map[string]trace.Profile{
+	"rfhome":   trace.RFHome,
+	"rfoffice": trace.RFOffice,
+	"solar":    trace.Solar,
+	"thermal":  trace.Thermal,
+}
+
+func main() {
+	bench := flag.String("bench", "sha", "workload name")
+	scheme := flag.String("scheme", "sweep-eb", "scheme: nvp|wt|nvsram|nvsram-e|replay|sweep-nvm|sweep-eb|nvmr")
+	traceName := flag.String("trace", "rfoffice", "power trace: rfhome|rfoffice|solar|thermal|none")
+	seed := flag.Int64("seed", 1, "trace seed")
+	scale := flag.Int("scale", 1, "workload scale")
+	capNF := flag.Float64("cap", 470, "capacitor size in nF")
+	cacheKB := flag.Int("cache", 4, "cache size in kB")
+	list := flag.Bool("list", false, "list workloads and schemes")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:", strings.Join(workloads.Names(), " "))
+		fmt.Println("schemes:   nvp wt nvsram nvsram-e replay sweep-nvm sweep-eb nvmr")
+		fmt.Println("traces:    rfhome rfoffice solar thermal none")
+		return
+	}
+
+	kind, ok := schemeNames[*scheme]
+	if !ok {
+		fail("unknown scheme %q", *scheme)
+	}
+	w, err := workloads.ByName(*bench)
+	if err != nil {
+		fail("%v", err)
+	}
+	var src trace.Source
+	if *traceName != "none" {
+		pr, ok := traceNames[*traceName]
+		if !ok {
+			fail("unknown trace %q", *traceName)
+		}
+		src = trace.New(pr, *seed)
+	}
+
+	p := config.Default()
+	p.CapacitorF = *capNF * 1e-9
+	p.CacheSize = *cacheKB << 10
+
+	build := func() *ir.Program { return w.Build(*scale) }
+	res, err := core.Run(build, kind, p, src)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	fmt.Printf("%s on %s", *bench, res.Scheme)
+	if src != nil {
+		fmt.Printf(" under %s (seed %d)", *traceName, *seed)
+	}
+	fmt.Printf("\n\n")
+	fmt.Printf("wall clock     %12.3f ms   (run %.3f ms, recharge %.3f ms)\n",
+		float64(res.TimeNs)/1e6, float64(res.RunNs)/1e6, float64(res.ChargeNs)/1e6)
+	fmt.Printf("instructions   %12d      (loads %d, stores %d, ckpt %d)\n",
+		res.Counts.Executed, res.Counts.Loads, res.Counts.Stores, res.Counts.CkptStores)
+	fmt.Printf("power outages  %12d\n", res.Outages)
+	led := res.Ledger
+	fmt.Printf("energy         %12.3f uJ   (compute %.3f, nvm %.3f, persist %.3f,\n",
+		led.Total()*1e6, led.Compute*1e6, led.NVM*1e6, led.Persist*1e6)
+	fmt.Printf("                                  backup %.3f, restore %.3f, sleep %.3f)\n",
+		led.Backup*1e6, led.Restore*1e6, led.Sleep*1e6)
+	if res.CacheHits+res.CacheMisses > 0 {
+		fmt.Printf("cache          %11.2f%% miss  (%d hits, %d misses, %d dirty evictions)\n",
+			100*res.MissRate(), res.CacheHits, res.CacheMisses, res.DirtyEvictions)
+	}
+	fmt.Printf("NVM traffic    %12d word reads, %d word writes, %d line reads, %d line writes\n",
+		res.NVMReads, res.NVMWrites, res.NVMLineReads, res.NVMLineWrites)
+	if res.Arch.RegionsExecuted > 0 {
+		fmt.Printf("regions        %12d      (mean %.1f insts, %.1f stores; parallelism eff %.1f%%)\n",
+			res.Arch.RegionsExecuted, res.RegionSizes.Mean(),
+			res.Arch.StoresPerRegion.Mean(), 100*res.ParallelismEfficiency())
+		fmt.Printf("buffer search  %12d      (%d bypassed by empty-bit, %d served misses)\n",
+			res.Arch.BufferSearches, res.Arch.BufferBypasses, res.Arch.BufferHits)
+	}
+	if res.Arch.BackupEvents > 0 {
+		fmt.Printf("JIT events     %12d backups, %d restores, %d lines backed up\n",
+			res.Arch.BackupEvents, res.Arch.RestoreEvents, res.Arch.LinesBackedUp)
+	}
+	fmt.Printf("checksum       %#x\n", res.NVM.PeekWord(workloads.CheckAddr()))
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sweepsim: "+format+"\n", args...)
+	os.Exit(1)
+}

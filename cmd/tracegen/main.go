@@ -1,0 +1,51 @@
+// Command tracegen emits a synthetic power trace as CSV (time_us,power_uW)
+// for inspection or plotting.
+//
+// Usage:
+//
+//	tracegen -profile rfhome -seed 1 -duration 100ms > rfhome.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	profile := flag.String("profile", "rfoffice", "rfhome|rfoffice|solar|thermal")
+	seed := flag.Int64("seed", 1, "generator seed")
+	duration := flag.Duration("duration", 100*time.Millisecond, "trace length")
+	flag.Parse()
+
+	var pr trace.Profile
+	switch *profile {
+	case "rfhome":
+		pr = trace.RFHome
+	case "rfoffice":
+		pr = trace.RFOffice
+	case "solar":
+		pr = trace.Solar
+	case "thermal":
+		pr = trace.Thermal
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown profile %q\n", *profile)
+		os.Exit(1)
+	}
+
+	src := trace.New(pr, *seed)
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	fmt.Fprintln(out, "time_us,power_uW")
+	var t int64
+	limit := duration.Nanoseconds()
+	for t < limit {
+		d, p := src.Next()
+		fmt.Fprintf(out, "%.3f,%.3f\n", float64(t)/1e3, p*1e6)
+		t += d
+	}
+}

@@ -1,0 +1,74 @@
+// Regioninspector: a window into the SweepCache compiler. Compile one
+// benchmark and dump what region formation produced — boundary counts,
+// checkpoint stores, unrolled loops, worst-case store counts per region —
+// then run it and compare the static picture against the dynamic one
+// (Figure 12's distributions).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/compiler"
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	bench := flag.String("bench", "adpcmenc", "workload to inspect")
+	threshold := flag.Int("threshold", 64, "store threshold / persist buffer size")
+	disasm := flag.Bool("disasm", false, "print the compiled assembly")
+	flag.Parse()
+
+	w, err := workloads.ByName(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := compiler.Compile(w.Build(1), compiler.Options{
+		Mode:           compiler.ModeSweep,
+		StoreThreshold: *threshold,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := res.Stats
+
+	fmt.Printf("%s compiled for SweepCache (threshold %d)\n\n", *bench, *threshold)
+	fmt.Printf("static instructions      %6d\n", st.StaticInstrs)
+	fmt.Printf("regions                  %6d\n", st.Regions)
+	fmt.Printf("checkpoint stores        %6d\n", st.CkptStores)
+	fmt.Printf("loops unrolled           %6d\n", st.UnrolledLoops)
+	fmt.Printf("threshold splits         %6d\n", st.SplitBoundary)
+
+	worst := append([]int(nil), st.MaxPathStores...)
+	sort.Ints(worst)
+	fmt.Printf("worst-case stores/region  median %d, max %d (bound %d)\n",
+		worst[len(worst)/2], worst[len(worst)-1], *threshold)
+
+	if *disasm {
+		fmt.Println("\n" + res.Linked.Disasm())
+	}
+
+	// Dynamic view: run it and show what actually executed.
+	p := config.Default()
+	p.StoreThreshold = *threshold
+	scheme := arch.New(arch.SweepEmptyBit, p)
+	run, err := sim.Run(res.Linked, scheme, sim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndynamic regions executed %6d\n", run.Arch.RegionsExecuted)
+	fmt.Printf("mean region size         %8.1f instructions\n", run.RegionSizes.Mean())
+	fmt.Printf("mean stores per region   %8.1f\n", run.Arch.StoresPerRegion.Mean())
+	fmt.Printf("region size p50/p90/p99  %d / %d / %d\n",
+		run.RegionSizes.Quantile(0.5), run.RegionSizes.Quantile(0.9), run.RegionSizes.Quantile(0.99))
+	fmt.Printf("stores     p50/p90/p99   %d / %d / %d\n",
+		run.Arch.StoresPerRegion.Quantile(0.5), run.Arch.StoresPerRegion.Quantile(0.9),
+		run.Arch.StoresPerRegion.Quantile(0.99))
+	fmt.Printf("parallelism efficiency   %8.1f%%\n", 100*run.ParallelismEfficiency())
+	fmt.Printf("WAW stalls               %8.3f ms\n", float64(run.Arch.WAWStallNs)/1e6)
+}

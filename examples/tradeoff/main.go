@@ -1,0 +1,69 @@
+// Tradeoff: explore the Section 6.4 design space interactively — how
+// capacitor size and cache size move the balance between SweepCache and
+// the JIT-checkpoint designs on one workload, mirroring Figures 8 and 9 at
+// single-benchmark granularity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/arch"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	bench := flag.String("bench", "adpcmenc", "workload")
+	seed := flag.Int64("seed", 1, "trace seed")
+	flag.Parse()
+
+	w, err := workloads.ByName(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	build := func() *ir.Program { return w.Build(1) }
+	kinds := []arch.Kind{arch.ReplayCache, arch.NVSRAM, arch.SweepEmptyBit}
+
+	run := func(p config.Params) map[arch.Kind]float64 {
+		out := map[arch.Kind]float64{}
+		base, err := core.Run(build, arch.NVP, p, trace.New(trace.RFOffice, *seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, k := range kinds {
+			r, err := core.Run(build, k, p, trace.New(trace.RFOffice, *seed))
+			if err != nil {
+				log.Fatal(err)
+			}
+			out[k] = core.Speedup(base, r)
+		}
+		return out
+	}
+
+	fmt.Printf("%s under RFOffice — speedups over NVP\n\n", *bench)
+
+	fmt.Println("capacitor sweep (4 kB cache):")
+	fmt.Printf("%-8s %12s %10s %12s\n", "cap", "ReplayCache", "NVSRAM", "SweepCache")
+	for _, nf := range []float64{100, 470, 1000, 10000} {
+		p := config.Default()
+		p.CapacitorF = nf * 1e-9
+		s := run(p)
+		fmt.Printf("%6.0fnF %12.2f %10.2f %12.2f\n",
+			nf, s[arch.ReplayCache], s[arch.NVSRAM], s[arch.SweepEmptyBit])
+	}
+
+	fmt.Println("\ncache sweep (470 nF capacitor):")
+	fmt.Printf("%-8s %12s %10s %12s\n", "cache", "ReplayCache", "NVSRAM", "SweepCache")
+	for _, kb := range []int{1, 2, 4, 8, 16} {
+		p := config.Default()
+		p.CacheSize = kb << 10
+		s := run(p)
+		fmt.Printf("%6dkB %12.2f %10.2f %12.2f\n",
+			kb, s[arch.ReplayCache], s[arch.NVSRAM], s[arch.SweepEmptyBit])
+	}
+}

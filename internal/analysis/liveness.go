@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// Liveness holds interprocedural register liveness at block granularity.
+//
+// Calls are handled with a whole-program fixpoint: a call uses the callee's
+// entry live-in set, and a function's return blocks are live-out for the
+// union of its callsites' continuation live-ins. The analysis never treats
+// a call as killing a register (the callee may or may not define it), which
+// is conservative in the safe direction for checkpoint insertion: a
+// register reported live is checkpointed; one reported dead is provably
+// never read again.
+type Liveness struct {
+	In  map[*ir.Block]RegSet
+	Out map[*ir.Block]RegSet
+	// EntryIn[f] is liveness at f's entry; ExitLive[f] is liveness at
+	// f's return points.
+	EntryIn  map[*ir.Function]RegSet
+	ExitLive map[*ir.Function]RegSet
+}
+
+// ComputeLiveness runs the interprocedural fixpoint over the program.
+func ComputeLiveness(p *ir.Program) *Liveness {
+	lv := &Liveness{
+		In:       map[*ir.Block]RegSet{},
+		Out:      map[*ir.Block]RegSet{},
+		EntryIn:  map[*ir.Function]RegSet{},
+		ExitLive: map[*ir.Function]RegSet{},
+	}
+	// Iterate until the whole program stabilizes. All transfer functions
+	// are monotone over finite lattices, so this terminates.
+	for changed := true; changed; {
+		changed = false
+		// Propagate callsite continuations into callee exit sets first.
+		for _, f := range p.Funcs {
+			for _, b := range f.Blocks {
+				if b.Terminator().Op == isa.OpCall {
+					callee := b.CallTarget
+					add := lv.In[b.FallTarget]
+					if lv.ExitLive[callee]|add != lv.ExitLive[callee] {
+						lv.ExitLive[callee] |= add
+						changed = true
+					}
+				}
+			}
+		}
+		for _, f := range p.Funcs {
+			if lv.funcPass(f) {
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// funcPass runs one backward dataflow pass over f; reports change.
+func (lv *Liveness) funcPass(f *ir.Function) bool {
+	changed := false
+	rpo := ReversePostorder(f)
+	var succs []*ir.Block
+	// Iterate f's blocks to a local fixpoint (postorder for backward flow).
+	for again := true; again; {
+		again = false
+		for i := len(rpo) - 1; i >= 0; i-- {
+			b := rpo[i]
+			var out RegSet
+			if b.Terminator().Op == isa.OpRet {
+				out = lv.ExitLive[f]
+			}
+			succs = b.Succs(succs[:0])
+			for _, s := range succs {
+				out |= lv.In[s]
+			}
+			in := lv.BlockTransfer(b, out)
+			if out != lv.Out[b] || in != lv.In[b] {
+				lv.Out[b] = out
+				lv.In[b] = in
+				again = true
+				changed = true
+			}
+		}
+	}
+	if e := lv.In[f.Entry()]; e != lv.EntryIn[f] {
+		lv.EntryIn[f] = e
+		changed = true
+	}
+	return changed
+}
+
+// BlockTransfer computes the live-in set of b given its live-out set by
+// scanning instructions backwards.
+func (lv *Liveness) BlockTransfer(b *ir.Block, out RegSet) RegSet {
+	live := out
+	var uses []isa.Reg
+	for i := len(b.Instrs) - 1; i >= 0; i-- {
+		in := b.Instrs[i]
+		if in.Op == isa.OpCall {
+			// The call defines LR and uses the callee's entry live-ins
+			// — except LR itself, whose upward exposure in the callee
+			// is satisfied by this very call.
+			live = live.Remove(isa.LR)
+			live |= lv.EntryIn[b.CallTarget].Remove(isa.LR)
+			continue
+		}
+		if d := in.Defs(); d >= 0 {
+			live = live.Remove(isa.Reg(d))
+		}
+		uses = in.Uses(uses[:0])
+		for _, u := range uses {
+			live = live.Add(u)
+		}
+	}
+	return live
+}

@@ -1,0 +1,211 @@
+// Package arch implements the seven machines the evaluation compares
+// (Figure 1 plus Section 6.7):
+//
+//	NVP        cache-free nonvolatile processor, JIT register checkpointing
+//	WT-VCache  volatile write-through cache, JIT register checkpointing
+//	NVSRAM     volatile write-back cache, JIT backup of dirty lines
+//	NVSRAM-E   as NVSRAM but backs up the entire cache
+//	ReplayCache  write-back cache, clwb per store + fence per region,
+//	             store replay at recovery
+//	SweepCache   region-level persistence through dual NVM persist buffers
+//	             (variants: NVM Search and Empty-Bit Search)
+//	NvMR       memory renaming; keeps executing after the JIT backup
+//
+// Each scheme is a cpu.MemSystem plus a crash/recovery protocol. All state
+// is functional: power failure genuinely destroys volatile contents, and
+// recovery genuinely reconstructs them, so crash consistency is checked,
+// not assumed.
+package arch
+
+import (
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/cpu"
+	"repro/internal/energy"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// Kind names a scheme.
+type Kind int
+
+const (
+	NVP Kind = iota
+	WTVCache
+	NVSRAM
+	NVSRAME
+	ReplayCache
+	SweepNVMSearch
+	SweepEmptyBit
+	NvMR
+)
+
+var kindNames = map[Kind]string{
+	NVP: "NVP", WTVCache: "WT-VCache", NVSRAM: "NVSRAM", NVSRAME: "NVSRAM-E",
+	ReplayCache: "ReplayCache", SweepNVMSearch: "Sweep-NVMSearch",
+	SweepEmptyBit: "Sweep-EmptyBit", NvMR: "NvMR",
+}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// CompilerMode returns the compilation mode the scheme's binary needs.
+// The import-free int mirrors compiler.Mode (0 plain, 1 sweep, 2 replay)
+// to keep arch independent of the compiler package.
+func (k Kind) CompilerMode() int {
+	switch k {
+	case SweepNVMSearch, SweepEmptyBit:
+		return 1
+	case ReplayCache:
+		return 2
+	}
+	return 0
+}
+
+// Stats collects scheme-level counters beyond the CPU's instruction counts.
+type Stats struct {
+	// Region-level parallelism accounting (Section 6.3): TpNs is the
+	// persistence latency without parallelism, TwaitNs the actual wait.
+	TpNs    int64
+	TwaitNs int64
+
+	RegionsExecuted uint64
+	// StoresPerRegion samples the dynamic store count of each executed
+	// region (Figure 12b).
+	StoresPerRegion *stats.Hist
+
+	// Persist-buffer search behaviour (Section 4.4).
+	BufferSearches uint64 // searches actually performed
+	BufferBypasses uint64 // searches skipped thanks to the empty-bit
+	BufferHits     uint64 // misses served from a buffer
+
+	WAWStallNs   int64 // Section 4.3 stalls
+	FenceStallNs int64
+	ClwbStallNs  int64
+
+	BackupEvents   uint64
+	RestoreEvents  uint64
+	LinesBackedUp  uint64
+	ReplayedStores uint64
+	RedoneDrains   uint64
+}
+
+// base carries the plumbing every scheme shares.
+type base struct {
+	p   config.Params
+	nvm *mem.NVM
+	led *energy.Ledger
+	st  Stats
+}
+
+func newBase(p config.Params) base {
+	return base{
+		p:   p,
+		nvm: mem.New(p.NVMSize),
+		led: &energy.Ledger{},
+		st:  Stats{StoresPerRegion: stats.NewHist(p.StoreThreshold + 1)},
+	}
+}
+
+func (b *base) NVM() *mem.NVM            { return b.nvm }
+func (b *base) Ledger() *energy.Ledger   { return b.led }
+func (b *base) Stats() *Stats            { return &b.st }
+func (b *base) Params() config.Params    { return b.p }
+func (b *base) Sync(now int64)           {}
+func (b *base) Fetch(now int64) cpu.Cost { return cpu.Cost{} }
+func (b *base) RegionEnd(now int64) cpu.Cost {
+	panic("arch: region.end executed on a plain-compiled scheme")
+}
+func (b *base) Clwb(now int64, addr int64) cpu.Cost {
+	panic("arch: clwb executed on a non-replay scheme")
+}
+func (b *base) Fence(now int64) cpu.Cost {
+	panic("arch: fence executed on a non-replay scheme")
+}
+func (b *base) ContinuesAfterBackup() bool { return false }
+func (b *base) NeedsBackup() bool          { return false }
+func (b *base) Boot(entryPC int64)         {}
+func (b *base) Finalize()                  {}
+
+// flushDirty writes every dirty line of c to NVM uncounted; the shared
+// Finalize implementation for write-back schemes.
+func flushDirty(c *cache.Cache, b *base) {
+	for _, ln := range c.DirtyLines(nil) {
+		b.nvm.PokeLine(ln.Tag, &ln.Data)
+		ln.Dirty = false
+	}
+}
+
+// Scheme is one complete machine.
+type Scheme interface {
+	cpu.MemSystem
+	Name() string
+	Kind() Kind
+	// JIT reports whether the scheme checkpoints just-in-time: the
+	// engine triggers Backup when the voltage falls to VBackup. Non-JIT
+	// schemes (SweepCache) run down to Vmin and lose everything.
+	JIT() bool
+	// ContinuesAfterBackup reports NvMR's defining property: execution
+	// proceeds past the backup instead of halting until VRestore.
+	ContinuesAfterBackup() bool
+	// NeedsBackup reports that the scheme requires an extra JIT backup
+	// now for structural reasons (NvMR's rename table filling up).
+	NeedsBackup() bool
+	// Boot primes the recovery state with the program entry point, so a
+	// failure before the first backup restarts the program.
+	Boot(entryPC int64)
+	// Backup checkpoints volatile state (JIT schemes only).
+	Backup(now int64, regs *cpu.Regs, pc int64) cpu.Cost
+	// PowerFail destroys volatile state at the moment of the outage.
+	PowerFail(now int64)
+	// Restore rebuilds state after recharge; returns the resume PC.
+	Restore(now int64, regs *cpu.Regs) (int64, cpu.Cost)
+	// Sync applies background completions (buffer drains, clwb queue)
+	// up to now.
+	Sync(now int64)
+	// Finalize makes the final NVM image observable at program halt:
+	// volatile write-back state still in flight (dirty lines, buffers,
+	// queues) is drained without cost accounting, so differential tests
+	// can compare memory images across schemes.
+	Finalize()
+
+	NVM() *mem.NVM
+	Ledger() *energy.Ledger
+	Stats() *Stats
+	Params() config.Params
+	// Cache returns the L1D model, or nil for the cache-free NVP.
+	Cache() *cache.Cache
+}
+
+// New constructs the scheme for kind with the appropriate Table 1 voltage
+// thresholds applied to p.
+func New(kind Kind, p config.Params) Scheme {
+	switch kind {
+	case NVP:
+		return newNVP(p.WithNVPThresholds())
+	case WTVCache:
+		return newWT(p.WithNVPThresholds())
+	case NVSRAM:
+		return newNVSRAM(p.WithNVSRAMThresholds(), false)
+	case NVSRAME:
+		return newNVSRAM(p.WithNVSRAMThresholds(), true)
+	case ReplayCache:
+		return newReplay(p.WithNVPThresholds())
+	case SweepNVMSearch:
+		return newSweep(p.WithSweepThresholds(), false)
+	case SweepEmptyBit:
+		return newSweep(p.WithSweepThresholds(), true)
+	case NvMR:
+		return newNvMR(p.WithNVPThresholds())
+	}
+	panic("arch: unknown kind")
+}
+
+// AllKinds lists every scheme in presentation order.
+func AllKinds() []Kind {
+	return []Kind{NVP, WTVCache, NVSRAM, NVSRAME, ReplayCache, SweepNVMSearch, SweepEmptyBit, NvMR}
+}
+
+// EvalKinds lists the schemes of the headline figures (Figures 5–7).
+func EvalKinds() []Kind {
+	return []Kind{ReplayCache, NVSRAM, SweepNVMSearch, SweepEmptyBit}
+}

@@ -1,0 +1,159 @@
+package arch
+
+import (
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+// nvmr approximates NvMR (Section 6.7): a JIT-checkpoint design whose
+// memory renaming removes write-after-read hazards so execution continues
+// past the backup instead of halting until VRestore. Post-backup NVM
+// writes go to renamed locations (modelled as an overlay); they commit at
+// the next backup and are discarded on rollback. When the rename resources
+// fill up, NvMR must take another backup.
+type nvmr struct {
+	base
+	c *cache.Cache
+
+	// overlay holds renamed post-backup line writes; loads snoop it.
+	overlay map[int64]*[mem.LineSize]byte
+
+	snapRegs cpu.Regs
+	snapPC   int64
+	needBk   bool
+}
+
+func newNvMR(p config.Params) *nvmr {
+	return &nvmr{
+		base:    newBase(p),
+		c:       cache.New(p.CacheSize, p.CacheWays),
+		overlay: map[int64]*[mem.LineSize]byte{},
+	}
+}
+
+func (s *nvmr) Name() string               { return "NvMR" }
+func (s *nvmr) Kind() Kind                 { return NvMR }
+func (s *nvmr) JIT() bool                  { return true }
+func (s *nvmr) ContinuesAfterBackup() bool { return true }
+func (s *nvmr) Cache() *cache.Cache        { return s.c }
+
+// NeedsBackup reports that the rename table is full and a commit backup is
+// required before more speculative writebacks can rename.
+func (s *nvmr) NeedsBackup() bool { return s.needBk }
+
+func (s *nvmr) writeback(v *cache.Line) {
+	// Renamed write: the data lands in NVM at an alternate location, so
+	// the pre-backup value of the home location survives a rollback.
+	cp := v.Data
+	s.overlay[v.Tag] = &cp
+	s.nvm.LineWrites++
+	s.led.NVM += s.p.ENVMLineWrite
+	if len(s.overlay) >= s.p.NvMRRenameCap {
+		s.needBk = true
+	}
+}
+
+func (s *nvmr) access(addr int64) (*cache.Line, cpu.Cost) {
+	s.led.Compute += s.p.ESRAMAccess
+	if ln := s.c.Touch(addr); ln != nil {
+		return ln, cpu.Cost{}
+	}
+	var cost cpu.Cost
+	v := s.c.Victim(addr)
+	if v.Valid && v.Dirty {
+		s.writeback(v)
+		cost.Ns += s.p.NVMLineWriteNs
+		v.Dirty = false
+		s.c.DirtyEvictions++
+	}
+	var data [mem.LineSize]byte
+	if ov := s.overlay[mem.LineAddr(addr)]; ov != nil {
+		data = *ov
+	} else {
+		s.nvm.ReadLine(mem.LineAddr(addr), &data)
+	}
+	s.led.NVM += s.p.ENVMLineRead
+	cost.Ns += s.p.NVMLineReadNs
+	return s.c.Fill(addr, &data), cost
+}
+
+func (s *nvmr) Load(now int64, addr int64, byteWide bool) (int64, cpu.Cost) {
+	ln, cost := s.access(addr)
+	if byteWide {
+		return int64(ln.ByteAt(addr)), cost
+	}
+	return ln.ReadWord(addr), cost
+}
+
+func (s *nvmr) Store(now int64, addr int64, val int64, byteWide bool) cpu.Cost {
+	ln, cost := s.access(addr)
+	if byteWide {
+		ln.SetByte(addr, byte(val))
+	} else {
+		ln.WriteWord(addr, val)
+	}
+	ln.Dirty = true
+	return cost
+}
+
+// Backup commits the speculative overlay (the renamed data is already in
+// NVM; committing publishes the mapping), persists the dirty cachelines
+// and registers, and re-arms speculation.
+func (s *nvmr) Backup(now int64, regs *cpu.Regs, pc int64) cpu.Cost {
+	for addr, data := range s.overlay {
+		s.nvm.PokeLine(addr, data) // mapping switch, not a data write
+		delete(s.overlay, addr)
+	}
+	dirty := s.c.DirtyLines(nil)
+	for _, ln := range dirty {
+		s.nvm.WriteLine(ln.Tag, &ln.Data)
+		ln.Dirty = false
+	}
+	n := int64(len(dirty))
+	s.snapRegs = *regs
+	s.snapPC = pc
+	s.needBk = false
+	// NvMR's backup persists more volatile state than a plain JIT
+	// checkpoint: registers, dirty cachelines, and the rename-table and
+	// store-buffer contents the renaming depends on (Section 6.7), so
+	// both the fixed and per-line costs are substantially higher.
+	s.led.Backup += 2*s.p.EBackupFixed + float64(n)*4*s.p.EBackupPerLine
+	s.st.BackupEvents++
+	s.st.LinesBackedUp += uint64(n)
+	return cpu.Cost{Ns: 2*s.p.BackupTimeNs + n*s.p.BackupPerLineNs}
+}
+
+func (s *nvmr) PowerFail(now int64) {
+	// Roll back: speculative renamed writes are discarded; the cache is
+	// lost.
+	for addr := range s.overlay {
+		delete(s.overlay, addr)
+	}
+	s.c.Invalidate()
+	s.needBk = false
+}
+
+func (s *nvmr) Restore(now int64, regs *cpu.Regs) (int64, cpu.Cost) {
+	*regs = s.snapRegs
+	s.led.Restore += s.p.ERestoreFixed
+	s.st.RestoreEvents++
+	return s.snapPC, cpu.Cost{Ns: s.p.RestoreTimeNs}
+}
+
+// Boot primes the JIT snapshot with the program entry so a failure before
+// the first backup restarts from the beginning.
+func (s *nvmr) Boot(entryPC int64) {
+	s.snapPC = entryPC
+	s.snapRegs = cpu.Regs{}
+}
+
+// Finalize commits the speculative overlay and dirty lines.
+func (s *nvmr) Finalize() {
+	for addr, data := range s.overlay {
+		s.nvm.PokeLine(addr, data)
+		delete(s.overlay, addr)
+	}
+	flushDirty(s.c, &s.base)
+}

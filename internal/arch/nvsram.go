@@ -1,0 +1,135 @@
+package arch
+
+import (
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+// nvsram is a volatile write-back cache with a nonvolatile counterpart
+// (Figure 1c): the JIT backup copies dirty lines (or, for NVSRAM-E, the
+// entire cache) into the counterpart, and restore brings them back, so the
+// cache survives outages warm.
+type nvsram struct {
+	base
+	c      *cache.Cache
+	entire bool // NVSRAM-E: back up every valid line
+
+	snapRegs  cpu.Regs
+	snapPC    int64
+	snapLines []savedLine
+}
+
+type savedLine struct {
+	addr  int64
+	dirty bool
+	data  [mem.LineSize]byte
+}
+
+func newNVSRAM(p config.Params, entire bool) *nvsram {
+	return &nvsram{base: newBase(p), c: cache.New(p.CacheSize, p.CacheWays), entire: entire}
+}
+
+func (s *nvsram) Name() string {
+	if s.entire {
+		return "NVSRAM-E"
+	}
+	return "NVSRAM"
+}
+
+func (s *nvsram) Kind() Kind {
+	if s.entire {
+		return NVSRAME
+	}
+	return NVSRAM
+}
+
+func (s *nvsram) JIT() bool           { return true }
+func (s *nvsram) Cache() *cache.Cache { return s.c }
+
+// access is the shared write-back, write-allocate path.
+func (s *nvsram) access(addr int64) (*cache.Line, cpu.Cost) {
+	s.led.Compute += s.p.ESRAMAccess
+	if ln := s.c.Touch(addr); ln != nil {
+		return ln, cpu.Cost{}
+	}
+	var cost cpu.Cost
+	v := s.c.Victim(addr)
+	if v.Valid && v.Dirty {
+		s.nvm.WriteLine(v.Tag, &v.Data)
+		s.led.NVM += s.p.ENVMLineWrite
+		cost.Ns += s.p.NVMLineWriteNs
+		v.Dirty = false
+		s.c.DirtyEvictions++
+	}
+	var data [mem.LineSize]byte
+	s.nvm.ReadLine(mem.LineAddr(addr), &data)
+	s.led.NVM += s.p.ENVMLineRead
+	cost.Ns += s.p.NVMLineReadNs
+	return s.c.Fill(addr, &data), cost
+}
+
+func (s *nvsram) Load(now int64, addr int64, byteWide bool) (int64, cpu.Cost) {
+	ln, cost := s.access(addr)
+	if byteWide {
+		return int64(ln.ByteAt(addr)), cost
+	}
+	return ln.ReadWord(addr), cost
+}
+
+func (s *nvsram) Store(now int64, addr int64, val int64, byteWide bool) cpu.Cost {
+	ln, cost := s.access(addr)
+	if byteWide {
+		ln.SetByte(addr, byte(val))
+	} else {
+		ln.WriteWord(addr, val)
+	}
+	ln.Dirty = true
+	return cost
+}
+
+func (s *nvsram) Backup(now int64, regs *cpu.Regs, pc int64) cpu.Cost {
+	s.snapRegs = *regs
+	s.snapPC = pc
+	s.snapLines = s.snapLines[:0]
+	var lines []*cache.Line
+	if s.entire {
+		lines = s.c.ValidLines(nil)
+	} else {
+		lines = s.c.DirtyLines(nil)
+	}
+	for _, ln := range lines {
+		s.snapLines = append(s.snapLines, savedLine{addr: ln.Tag, dirty: ln.Dirty, data: ln.Data})
+	}
+	n := int64(len(lines))
+	s.led.Backup += s.p.EBackupFixed + float64(n)*s.p.EBackupPerLine
+	s.st.BackupEvents++
+	s.st.LinesBackedUp += uint64(n)
+	return cpu.Cost{Ns: s.p.BackupTimeNs + n*s.p.BackupPerLineNs}
+}
+
+func (s *nvsram) PowerFail(now int64) { s.c.Invalidate() }
+
+func (s *nvsram) Restore(now int64, regs *cpu.Regs) (int64, cpu.Cost) {
+	*regs = s.snapRegs
+	for i := range s.snapLines {
+		sl := &s.snapLines[i]
+		ln := s.c.Fill(sl.addr, &sl.data)
+		ln.Dirty = sl.dirty
+	}
+	n := int64(len(s.snapLines))
+	s.led.Restore += s.p.ERestoreFixed + float64(n)*s.p.ERestorePerLine
+	s.st.RestoreEvents++
+	return s.snapPC, cpu.Cost{Ns: s.p.RestoreTimeNs + n*s.p.RestorePerLineNs}
+}
+
+// Boot primes the JIT snapshot with the program entry so a failure before
+// the first backup restarts from the beginning.
+func (s *nvsram) Boot(entryPC int64) {
+	s.snapPC = entryPC
+	s.snapRegs = cpu.Regs{}
+}
+
+// Finalize drains dirty lines so the final NVM image is observable.
+func (s *nvsram) Finalize() { flushDirty(s.c, &s.base) }

@@ -1,0 +1,211 @@
+package arch
+
+import (
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+// replay implements ReplayCache (Figure 1d): a volatile write-back cache
+// where the compiler follows every store with a clwb and fences at region
+// ends. Writebacks drain asynchronously through a small queue; stores left
+// unpersisted at the JIT backup are replayed into NVM during recovery
+// (store integrity guarantees the operands survive — here the replay set is
+// recorded at backup time, which is observationally identical).
+type replay struct {
+	base
+	c *cache.Cache
+
+	// pending is the asynchronous clwb drain queue, oldest first.
+	pending []clwbEntry
+	// lastDrainDone is when the most recently enqueued entry completes.
+	lastDrainDone int64
+
+	snapRegs   cpu.Regs
+	snapPC     int64
+	snapReplay []clwbEntry
+}
+
+type clwbEntry struct {
+	addr   int64
+	doneAt int64
+	data   [mem.LineSize]byte
+}
+
+func newReplay(p config.Params) *replay {
+	return &replay{base: newBase(p), c: cache.New(p.CacheSize, p.CacheWays)}
+}
+
+func (s *replay) Name() string        { return "ReplayCache" }
+func (s *replay) Kind() Kind          { return ReplayCache }
+func (s *replay) JIT() bool           { return true }
+func (s *replay) Cache() *cache.Cache { return s.c }
+
+// Sync applies queue entries whose drain completed by now.
+func (s *replay) Sync(now int64) {
+	i := 0
+	for ; i < len(s.pending) && s.pending[i].doneAt <= now; i++ {
+		s.nvm.WriteLine(s.pending[i].addr, &s.pending[i].data)
+	}
+	if i > 0 {
+		s.pending = append(s.pending[:0], s.pending[i:]...)
+	}
+}
+
+// findPending returns the youngest queued writeback for addr's line, if
+// any — a miss must snoop the queue or it would read stale NVM.
+func (s *replay) findPending(addr int64) *clwbEntry {
+	la := mem.LineAddr(addr)
+	for i := len(s.pending) - 1; i >= 0; i-- {
+		if s.pending[i].addr == la {
+			return &s.pending[i]
+		}
+	}
+	return nil
+}
+
+func (s *replay) access(now int64, addr int64) (*cache.Line, cpu.Cost) {
+	s.Sync(now)
+	s.led.Compute += s.p.ESRAMAccess
+	if ln := s.c.Touch(addr); ln != nil {
+		return ln, cpu.Cost{}
+	}
+	var cost cpu.Cost
+	v := s.c.Victim(addr)
+	if v.Valid && v.Dirty {
+		s.nvm.WriteLine(v.Tag, &v.Data)
+		s.led.NVM += s.p.ENVMLineWrite
+		cost.Ns += s.p.NVMLineWriteNs
+		v.Dirty = false
+		s.c.DirtyEvictions++
+	}
+	var data [mem.LineSize]byte
+	if pe := s.findPending(addr); pe != nil {
+		data = pe.data
+	} else {
+		s.nvm.ReadLine(mem.LineAddr(addr), &data)
+	}
+	s.led.NVM += s.p.ENVMLineRead
+	cost.Ns += s.p.NVMLineReadNs
+	return s.c.Fill(addr, &data), cost
+}
+
+func (s *replay) Load(now int64, addr int64, byteWide bool) (int64, cpu.Cost) {
+	ln, cost := s.access(now, addr)
+	if byteWide {
+		return int64(ln.ByteAt(addr)), cost
+	}
+	return ln.ReadWord(addr), cost
+}
+
+func (s *replay) Store(now int64, addr int64, val int64, byteWide bool) cpu.Cost {
+	ln, cost := s.access(now, addr)
+	if byteWide {
+		ln.SetByte(addr, byte(val))
+	} else {
+		ln.WriteWord(addr, val)
+	}
+	ln.Dirty = true
+	return cost
+}
+
+func (s *replay) Clwb(now int64, addr int64) cpu.Cost {
+	s.Sync(now)
+	var cost cpu.Cost
+	if len(s.pending) >= s.p.ClwbQueueDepth {
+		// Structural stall until the oldest entry drains.
+		wait := s.pending[0].doneAt - now
+		if wait > 0 {
+			cost.Ns += wait
+			s.st.ClwbStallNs += wait
+		}
+		s.Sync(now + cost.Ns)
+	}
+	ln := s.c.Probe(addr)
+	if ln == nil {
+		// The line was evicted between store and clwb (possible only
+		// across a boundary oddity); the eviction already wrote NVM.
+		return cost
+	}
+	start := now + cost.Ns
+	if s.lastDrainDone > start {
+		start = s.lastDrainDone
+	}
+	done := start + s.p.NVMLineWriteNs
+	s.pending = append(s.pending, clwbEntry{addr: ln.Tag, doneAt: done, data: ln.Data})
+	s.lastDrainDone = done
+	s.led.Persist += s.p.ENVMLineWrite
+	ln.Dirty = false
+	return cost
+}
+
+func (s *replay) Fence(now int64) cpu.Cost {
+	s.Sync(now)
+	var cost cpu.Cost
+	if n := len(s.pending); n > 0 {
+		wait := s.pending[n-1].doneAt - now
+		if wait > 0 {
+			cost.Ns += wait
+			s.st.FenceStallNs += wait
+		}
+		s.Sync(now + cost.Ns)
+	}
+	return cost
+}
+
+func (s *replay) Backup(now int64, regs *cpu.Regs, pc int64) cpu.Cost {
+	s.snapRegs = *regs
+	s.snapPC = pc
+	// Unpersisted stores = queued writebacks not yet drained, plus dirty
+	// lines whose clwb had not issued yet.
+	s.snapReplay = append(s.snapReplay[:0], s.pending...)
+	for _, ln := range s.c.DirtyLines(nil) {
+		s.snapReplay = append(s.snapReplay, clwbEntry{addr: ln.Tag, data: ln.Data})
+	}
+	s.led.Backup += s.p.EBackupFixed
+	s.st.BackupEvents++
+	return cpu.Cost{Ns: s.p.BackupTimeNs}
+}
+
+func (s *replay) PowerFail(now int64) {
+	s.c.Invalidate()
+	s.pending = s.pending[:0]
+	s.lastDrainDone = 0
+}
+
+func (s *replay) Restore(now int64, regs *cpu.Regs) (int64, cpu.Cost) {
+	// Replay unpersisted stores sequentially (Section 2.2: "load the
+	// data ... to execute a recovery block for replaying stores
+	// sequentially, which leads to slow recovery").
+	var cost cpu.Cost
+	for i := range s.snapReplay {
+		e := &s.snapReplay[i]
+		s.nvm.WriteLine(e.addr, &e.data)
+		s.led.Restore += s.p.ERestorePerLine
+		cost.Ns += s.p.NVMLineWriteNs + 2*s.p.CycleNs
+		s.st.ReplayedStores++
+	}
+	s.snapReplay = s.snapReplay[:0]
+	*regs = s.snapRegs
+	s.led.Restore += s.p.ERestoreFixed
+	s.st.RestoreEvents++
+	cost.Ns += s.p.RestoreTimeNs
+	return s.snapPC, cost
+}
+
+// Boot primes the JIT snapshot with the program entry so a failure before
+// the first backup restarts from the beginning.
+func (s *replay) Boot(entryPC int64) {
+	s.snapPC = entryPC
+	s.snapRegs = cpu.Regs{}
+}
+
+// Finalize applies the outstanding clwb queue and dirty lines.
+func (s *replay) Finalize() {
+	for i := range s.pending {
+		s.nvm.PokeLine(s.pending[i].addr, &s.pending[i].data)
+	}
+	s.pending = s.pending[:0]
+	flushDirty(s.c, &s.base)
+}

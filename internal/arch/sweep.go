@@ -1,0 +1,369 @@
+package arch
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/cpu"
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/persist"
+)
+
+// sweep implements SweepCache (Figure 1e): a volatile write-back cache in
+// front of dual NVM-resident persist buffers. During a region, dirty
+// evictions are quarantined in the active buffer (t-phase1); at a region
+// end the dirty lines named by the write-back-instructive table are flushed
+// into the buffer (s-phase1) and a DMA drains the buffer to NVM (s-phase2)
+// while the next region already executes out of the other buffer
+// (region-level parallelism, Section 3.3). No JIT checkpointing exists:
+// power failure destroys the cache and registers, and recovery follows the
+// (phase1Complete, phase2Complete) protocol of Section 4.2 using the
+// register-checkpoint array and recovery-PC slot in NVM.
+type sweep struct {
+	base
+	c        *cache.Cache
+	emptyBit bool // Empty-Bit Search vs NVM Search (Section 4.4)
+
+	bufs   [2]*persist.Buffer
+	wbi    [2]*persist.WBITable
+	active int
+	seq    uint64
+
+	// flushDoneAt[slot] is when the previous region's s-phase1 finishes
+	// flushing that cacheline (the hardware walks the WBI table line by
+	// line, clearing dirty bits as it goes).
+	flushDoneAt []int64
+
+	storesThisRegion int
+	pendingRedo      []*persist.Buffer
+}
+
+func newSweep(p config.Params, emptyBit bool) *sweep {
+	s := &sweep{
+		base:     newBase(p),
+		c:        cache.New(p.CacheSize, p.CacheWays),
+		emptyBit: emptyBit,
+	}
+	for i := range s.bufs {
+		s.bufs[i] = persist.NewBuffer(p.StoreThreshold)
+		s.wbi[i] = persist.NewWBITable(s.c.NumLines())
+	}
+	s.flushDoneAt = make([]int64, s.c.NumLines())
+	s.seq = 1
+	s.bufs[0].Claim(s.seq)
+	return s
+}
+
+func (s *sweep) Name() string {
+	if s.emptyBit {
+		return "Sweep-EmptyBit"
+	}
+	return "Sweep-NVMSearch"
+}
+
+func (s *sweep) Kind() Kind {
+	if s.emptyBit {
+		return SweepEmptyBit
+	}
+	return SweepNVMSearch
+}
+
+func (s *sweep) JIT() bool           { return false }
+func (s *sweep) Cache() *cache.Cache { return s.c }
+
+// Sync drains buffers whose s-phase2 completed by now, in region order so
+// a younger duplicate line lands after an older one.
+func (s *sweep) Sync(now int64) {
+	for {
+		var due *persist.Buffer
+		for _, b := range s.bufs {
+			if b.Sealed && !b.Retired && b.Phase2CompleteAt(now) {
+				if due == nil || b.Region < due.Region {
+					due = b
+				}
+			}
+		}
+		if due == nil {
+			return
+		}
+		due.Drain(s.nvm)
+	}
+}
+
+// searchBuffers looks for addr in the persist buffers on a load miss,
+// youngest region first (the active buffer holds the current region's
+// evictions). It returns the found data (or nil) and the sequential-search
+// latency — each probed entry is an NVM read — and updates the search
+// statistics. With the empty-bit variant an empty buffer is skipped
+// outright; the NVM Search variant always pays at least the FIFO metadata
+// read (Section 4.4).
+func (s *sweep) searchBuffers(now int64, addr int64) (*[mem.LineSize]byte, cpu.Cost) {
+	var cost cpu.Cost
+	searched := false
+	la := mem.LineAddr(addr)
+	var found *[mem.LineSize]byte
+	order := [2]*persist.Buffer{s.bufs[s.active], s.bufs[1-s.active]}
+	for _, b := range order {
+		if s.emptyBit && b.Empty() {
+			continue
+		}
+		searched = true
+		cost.Ns += s.p.SearchBaseNs
+		for i := b.Len() - 1; i >= 0; i-- {
+			cost.Ns += s.p.SearchPerEntryNs
+			s.led.NVM += s.p.ENVMRead
+			if e := b.EntryAt(i); e.Addr == la {
+				data := e.Data
+				found = &data
+				break
+			}
+		}
+		if found != nil {
+			break
+		}
+	}
+	if searched {
+		s.st.BufferSearches++
+	} else {
+		s.st.BufferBypasses++
+	}
+	if found != nil {
+		s.st.BufferHits++
+	}
+	return found, cost
+}
+
+// missFill handles a load/store miss: evict the victim into the active
+// buffer if dirty, then fill from the buffers or NVM.
+func (s *sweep) missFill(now int64, addr int64) (*cache.Line, cpu.Cost) {
+	var cost cpu.Cost
+	v := s.c.Victim(addr)
+	if v.Valid && v.Dirty {
+		// t-phase1: quarantine the writeback in the active buffer
+		// (an NVM-resident write).
+		s.bufs[s.active].Append(v.Tag, &v.Data)
+		s.nvm.LineWrites++
+		s.led.Persist += s.p.ENVMLineWrite
+		cost.Ns += s.p.NVMLineWriteNs
+		s.wbi[s.active].ClearBit(v.Slot)
+		v.Dirty = false
+		s.c.DirtyEvictions++
+	}
+	data, scost := s.searchBuffers(now, addr)
+	cost.Add(scost)
+	if data == nil {
+		var buf [mem.LineSize]byte
+		s.nvm.ReadLine(mem.LineAddr(addr), &buf)
+		s.led.NVM += s.p.ENVMLineRead
+		cost.Ns += s.p.NVMLineReadNs
+		data = &buf
+	}
+	return s.c.Fill(addr, data), cost
+}
+
+func (s *sweep) Load(now int64, addr int64, byteWide bool) (int64, cpu.Cost) {
+	s.Sync(now)
+	s.led.Compute += s.p.ESRAMAccess
+	ln := s.c.Touch(addr)
+	var cost cpu.Cost
+	if ln == nil {
+		ln, cost = s.missFill(now, addr)
+	}
+	if byteWide {
+		return int64(ln.ByteAt(addr)), cost
+	}
+	return ln.ReadWord(addr), cost
+}
+
+func (s *sweep) Store(now int64, addr int64, val int64, byteWide bool) cpu.Cost {
+	s.Sync(now)
+	s.led.Compute += s.p.ESRAMAccess
+	ln := s.c.Touch(addr)
+	var cost cpu.Cost
+	if ln == nil {
+		ln, cost = s.missFill(now, addr)
+	}
+	// Write-after-write rule (Section 4.3). The s-phase1 hardware walks
+	// the previous region's WBI table line by line, clearing dirty bits
+	// as it flushes; a store must wait if its target line is still
+	// awaiting flush. A line already flushed (clean) proceeds — unless
+	// the current region re-dirtied it, in which case the hardware's
+	// coarse (dirty, WBI-prev, phase1Complete) check stalls spuriously:
+	// the paper's rare false positive.
+	prev := s.bufs[1-s.active]
+	if s.wbi[1-s.active].Get(ln.Slot) && prev.Sealed && !prev.Phase1CompleteAt(now+cost.Ns) {
+		t := now + cost.Ns
+		var until int64
+		if done := s.flushDoneAt[ln.Slot]; done > t {
+			until = done // true hazard: this line's flush is in flight
+		} else if ln.Dirty {
+			until = prev.Phase1End // false positive: re-dirtied line
+		}
+		if until > t {
+			wait := until - t
+			cost.Ns += wait
+			s.st.WAWStallNs += wait
+		}
+	}
+	if byteWide {
+		ln.SetByte(addr, byte(val))
+	} else {
+		ln.WriteWord(addr, val)
+	}
+	if !ln.Dirty {
+		ln.Dirty = true
+		ln.DirtyRegion = s.seq
+		s.wbi[s.active].Set(ln.Slot)
+	}
+	s.storesThisRegion++
+	return cost
+}
+
+func (s *sweep) RegionEnd(now int64) cpu.Cost {
+	s.Sync(now)
+	var cost cpu.Cost
+
+	// Structural hazard (Section 3.3): the buffer about to be claimed
+	// must have finished its s-phase2.
+	other := s.bufs[1-s.active]
+	if other.Sealed && !other.Retired {
+		wait := other.Phase2End - now
+		if wait > 0 {
+			cost.Ns += wait
+			s.st.TwaitNs += wait
+			s.Sync(now + cost.Ns)
+		}
+	}
+
+	// s-phase1 flush set: all dirty lines, which must match the WBI
+	// table exactly (Section 4.6) — the table exists so hardware need
+	// not scan the cache; the simulator scans and asserts agreement.
+	dirty := s.c.DirtyLines(nil)
+	if got, want := s.wbi[s.active].Count(), len(dirty); got != want {
+		panic(fmt.Sprintf("sweep: WBI table (%d) disagrees with dirty scan (%d)", got, want))
+	}
+	flush := make([]persist.Entry, len(dirty))
+	start := now + cost.Ns
+	for i, ln := range dirty {
+		if !s.wbi[s.active].Get(ln.Slot) {
+			panic("sweep: dirty line missing from WBI table")
+		}
+		flush[i] = persist.Entry{Addr: ln.Tag, Data: ln.Data}
+		ln.Dirty = false // flushed lines remain resident and clean
+		s.flushDoneAt[ln.Slot] = start + int64(i+1)*s.p.FlushPerLineNs
+	}
+
+	cur := s.bufs[s.active]
+	cur.Seal(start, flush, s.p.FlushPerLineNs, s.p.DrainPerLineNs, other.Phase2End)
+
+	// Account the persistence traffic: the flush writes the NVM-resident
+	// buffer, the drain writes the home locations (write amplification,
+	// Figure 16). Drain line-writes are counted when applied.
+	nFlush := int64(len(flush))
+	s.nvm.LineWrites += uint64(nFlush)
+	s.led.Persist += float64(nFlush)*s.p.ENVMLineWrite + float64(cur.Len())*s.p.ENVMLineWrite
+
+	// Parallelism accounting (Section 6.3): Tp is what a design without
+	// region-level parallelism would stall for.
+	s.st.TpNs += nFlush*s.p.FlushPerLineNs + int64(cur.Len())*s.p.DrainPerLineNs
+
+	// Figure 3a ablation: with a single buffer the next region cannot
+	// start until this region's own persistence completes.
+	if s.p.SweepSingleBuffer {
+		if wait := cur.Phase2End - start; wait > 0 {
+			cost.Ns += wait
+			s.st.TwaitNs += wait
+			s.Sync(cur.Phase2End)
+		}
+	}
+	s.st.RegionsExecuted++
+	s.st.StoresPerRegion.Add(s.storesThisRegion)
+	s.storesThisRegion = 0
+
+	// Switch buffers; WBI of the ending region stays visible for the
+	// WAW rule until its phase 1 completes.
+	s.seq++
+	s.active = 1 - s.active
+	s.bufs[s.active].Claim(s.seq)
+	s.wbi[s.active].Clear()
+	return cost
+}
+
+func (s *sweep) Backup(now int64, regs *cpu.Regs, pc int64) cpu.Cost {
+	panic("sweep: JIT backup does not exist in SweepCache")
+}
+
+func (s *sweep) PowerFail(now int64) {
+	s.Sync(now)
+	s.pendingRedo = s.pendingRedo[:0]
+	// Classify each buffer by its phase bits at the failure instant
+	// (Section 4.2): (1,0) buffers are redone at recovery in region
+	// order; (0,0) buffers and the filling buffer are discarded.
+	ordered := []*persist.Buffer{s.bufs[0], s.bufs[1]}
+	if ordered[0].Region > ordered[1].Region {
+		ordered[0], ordered[1] = ordered[1], ordered[0]
+	}
+	for _, b := range ordered {
+		switch {
+		case b.Sealed && !b.Retired && b.Phase1CompleteAt(now):
+			s.pendingRedo = append(s.pendingRedo, b) // (1,0)
+		default:
+			b.Discard() // (0,0) or filling
+		}
+	}
+	s.c.Invalidate()
+	s.wbi[0].Clear()
+	s.wbi[1].Clear()
+	s.storesThisRegion = 0
+}
+
+func (s *sweep) Restore(now int64, regs *cpu.Regs) (int64, cpu.Cost) {
+	cost := cpu.Cost{Ns: s.p.RestoreTimeNs}
+	// (1,0) recovery: redo the s-phase2 DMA. The drain is idempotent, so
+	// redoing a partially completed one is safe.
+	for _, b := range s.pendingRedo {
+		n := int64(b.Len())
+		b.Drain(s.nvm)
+		cost.Ns += n * s.p.DrainPerLineNs
+		s.led.Restore += float64(n) * s.p.ENVMLineWrite
+		s.st.RedoneDrains++
+	}
+	s.pendingRedo = s.pendingRedo[:0]
+
+	// Reload the register file from the checkpoint array and the resume
+	// PC from the recovery slot (two checkpoint lines plus the PC line).
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		regs[r] = s.nvm.ReadWord(ir.CkptSlotAddr(r))
+	}
+	pc := s.nvm.ReadWord(ir.PCSlotAddr)
+	cost.Ns += 3 * s.p.NVMLineReadNs
+	s.led.Restore += s.p.ESweepRestore + 3*s.p.ENVMLineRead
+	s.st.RestoreEvents++
+
+	// Fresh buffers for the restarted region.
+	s.bufs[0].Discard()
+	s.bufs[1].Discard()
+	s.seq++
+	s.active = 0
+	s.bufs[0].Claim(s.seq)
+	return pc, cost
+}
+
+// Finalize drains both buffers in region order, then the still-dirty lines
+// of the unfinished final region, so the final NVM image is observable.
+func (s *sweep) Finalize() {
+	ordered := []*persist.Buffer{s.bufs[0], s.bufs[1]}
+	if ordered[0].Region > ordered[1].Region {
+		ordered[0], ordered[1] = ordered[1], ordered[0]
+	}
+	for _, b := range ordered {
+		for i := range b.Entries {
+			s.nvm.PokeLine(b.Entries[i].Addr, &b.Entries[i].Data)
+		}
+		b.Discard()
+	}
+	flushDirty(s.c, &s.base)
+}

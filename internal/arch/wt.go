@@ -1,0 +1,97 @@
+package arch
+
+import (
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+// wt is NVP plus a volatile write-through cache (Figure 1b): loads are
+// cached, but every store pays a synchronous NVM write, so the cache never
+// holds dirty data and crash consistency is free beyond the JIT register
+// checkpoint.
+type wt struct {
+	base
+	c        *cache.Cache
+	snapRegs cpu.Regs
+	snapPC   int64
+}
+
+func newWT(p config.Params) *wt {
+	return &wt{base: newBase(p), c: cache.New(p.CacheSize, p.CacheWays)}
+}
+
+func (s *wt) Name() string        { return "WT-VCache" }
+func (s *wt) Kind() Kind          { return WTVCache }
+func (s *wt) JIT() bool           { return true }
+func (s *wt) Cache() *cache.Cache { return s.c }
+
+// fill brings addr's line in from NVM; write-through lines are always
+// clean, so the victim needs no draining.
+func (s *wt) fill(addr int64) (*cache.Line, cpu.Cost) {
+	var data [mem.LineSize]byte
+	s.nvm.ReadLine(mem.LineAddr(addr), &data)
+	s.led.NVM += s.p.ENVMLineRead
+	return s.c.Fill(addr, &data), cpu.Cost{Ns: s.p.NVMLineReadNs}
+}
+
+func (s *wt) Load(now int64, addr int64, byteWide bool) (int64, cpu.Cost) {
+	s.led.Compute += s.p.ESRAMAccess
+	ln := s.c.Touch(addr)
+	var cost cpu.Cost
+	if ln == nil {
+		ln, cost = s.fill(addr)
+	}
+	if byteWide {
+		return int64(ln.ByteAt(addr)), cost
+	}
+	return ln.ReadWord(addr), cost
+}
+
+func (s *wt) Store(now int64, addr int64, val int64, byteWide bool) cpu.Cost {
+	s.led.Compute += s.p.ESRAMAccess
+	// Update the cached copy if present (no write-allocate) ...
+	if ln := s.c.Touch(addr); ln != nil {
+		if byteWide {
+			ln.SetByte(addr, byte(val))
+		} else {
+			ln.WriteWord(addr, val)
+		}
+	}
+	// ... and always write through to NVM.
+	s.led.NVM += s.p.ENVMWrite
+	if byteWide {
+		s.nvm.WriteByteAt(addr, byte(val))
+	} else {
+		s.nvm.WriteWord(addr, val)
+	}
+	return cpu.Cost{Ns: s.p.NVMWriteNs}
+}
+
+func (s *wt) Backup(now int64, regs *cpu.Regs, pc int64) cpu.Cost {
+	s.snapRegs = *regs
+	s.snapPC = pc
+	s.led.Backup += s.p.EBackupFixed
+	s.st.BackupEvents++
+	return cpu.Cost{Ns: s.p.BackupTimeNs}
+}
+
+func (s *wt) PowerFail(now int64) { s.c.Invalidate() }
+
+func (s *wt) Restore(now int64, regs *cpu.Regs) (int64, cpu.Cost) {
+	*regs = s.snapRegs
+	s.led.Restore += s.p.ERestoreFixed
+	s.st.RestoreEvents++
+	return s.snapPC, cpu.Cost{Ns: s.p.RestoreTimeNs}
+}
+
+// Boot primes the JIT snapshot with the program entry so a failure before
+// the first backup restarts from the beginning.
+func (s *wt) Boot(entryPC int64) {
+	s.snapPC = entryPC
+	s.snapRegs = cpu.Regs{}
+}
+
+// Finalize is a no-op: a write-through cache never holds dirty data.
+func (s *wt) Finalize() {}

@@ -1,0 +1,204 @@
+// Package cache models the volatile set-associative SRAM L1 data cache the
+// schemes build on. It is mechanism, not policy: schemes decide write-back
+// versus write-through, where victims go (NVM, persist buffer, NVSRAM
+// backup), and what happens at power failure. The cache stores real line
+// data so the simulation stays functional.
+//
+// Dirty lines carry the region sequence number that dirtied them, which the
+// SweepCache write-after-write rule (Section 4.3) and the write-back-
+// instructive table (Section 4.6) consume.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Line is one cache line.
+type Line struct {
+	Tag   int64 // line-aligned address
+	Valid bool
+	Dirty bool
+	// DirtyRegion is the region sequence number of the store that made
+	// the line dirty (meaningful while Dirty).
+	DirtyRegion uint64
+	// Slot is the line's fixed position in the cache (set*ways + way),
+	// which indexes the write-back-instructive tables.
+	Slot int
+	Data [mem.LineSize]byte
+
+	lru uint64
+}
+
+// Cache is a set-associative cache with true-LRU replacement.
+type Cache struct {
+	sets  [][]Line
+	ways  int
+	nsets int
+	tick  uint64
+
+	// Counters.
+	Hits           uint64
+	Misses         uint64
+	DirtyEvictions uint64
+}
+
+// New builds a cache of sizeBytes with the given associativity.
+func New(sizeBytes, ways int) *Cache {
+	if ways <= 0 || sizeBytes <= 0 {
+		panic("cache: non-positive geometry")
+	}
+	lines := sizeBytes / mem.LineSize
+	if lines < ways {
+		panic(fmt.Sprintf("cache: %dB too small for %d ways", sizeBytes, ways))
+	}
+	nsets := lines / ways
+	if nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a power of two", nsets))
+	}
+	c := &Cache{ways: ways, nsets: nsets}
+	c.sets = make([][]Line, nsets)
+	backing := make([]Line, nsets*ways)
+	for i := range backing {
+		backing[i].Slot = i
+	}
+	for i := range c.sets {
+		c.sets[i] = backing[i*ways : (i+1)*ways : (i+1)*ways]
+	}
+	return c
+}
+
+// NumLines returns the total line count (the write-back-instructive table
+// needs one bit per line — Section 4.6).
+func (c *Cache) NumLines() int { return c.nsets * c.ways }
+
+func (c *Cache) set(addr int64) []Line {
+	return c.sets[(addr/mem.LineSize)&int64(c.nsets-1)]
+}
+
+// Probe returns the line holding addr, or nil. It does not update LRU or
+// counters; use Touch for demand accesses.
+func (c *Cache) Probe(addr int64) *Line {
+	tag := mem.LineAddr(addr)
+	set := c.set(addr)
+	for i := range set {
+		if set[i].Valid && set[i].Tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Touch performs a demand lookup: on hit it updates LRU and the hit
+// counter and returns the line; on miss it counts a miss and returns nil.
+func (c *Cache) Touch(addr int64) *Line {
+	if ln := c.Probe(addr); ln != nil {
+		c.tick++
+		ln.lru = c.tick
+		c.Hits++
+		return ln
+	}
+	c.Misses++
+	return nil
+}
+
+// Victim returns the line that a fill of addr would replace: an invalid
+// way if present, otherwise the LRU way. The caller must handle the
+// victim's dirty data before calling Fill.
+func (c *Cache) Victim(addr int64) *Line {
+	set := c.set(addr)
+	v := &set[0]
+	for i := range set {
+		if !set[i].Valid {
+			return &set[i]
+		}
+		if set[i].lru < v.lru {
+			v = &set[i]
+		}
+	}
+	return v
+}
+
+// Fill installs a clean line for addr into the victim way.
+func (c *Cache) Fill(addr int64, data *[mem.LineSize]byte) *Line {
+	v := c.Victim(addr)
+	if v.Valid && v.Dirty {
+		// The caller was required to drain the victim first.
+		panic("cache: Fill over un-drained dirty victim")
+	}
+	c.tick++
+	*v = Line{Tag: mem.LineAddr(addr), Valid: true, Data: *data, lru: c.tick, Slot: v.Slot}
+	return v
+}
+
+// DirtyLines appends pointers to all dirty lines to dst and returns it.
+func (c *Cache) DirtyLines(dst []*Line) []*Line {
+	for si := range c.sets {
+		set := c.sets[si]
+		for i := range set {
+			if set[i].Valid && set[i].Dirty {
+				dst = append(dst, &set[i])
+			}
+		}
+	}
+	return dst
+}
+
+// ValidLines appends pointers to all valid lines to dst and returns it.
+func (c *Cache) ValidLines(dst []*Line) []*Line {
+	for si := range c.sets {
+		set := c.sets[si]
+		for i := range set {
+			if set[i].Valid {
+				dst = append(dst, &set[i])
+			}
+		}
+	}
+	return dst
+}
+
+// Invalidate clears the whole cache, modelling volatile loss at power
+// failure. Counters are preserved.
+func (c *Cache) Invalidate() {
+	for si := range c.sets {
+		set := c.sets[si]
+		for i := range set {
+			set[i] = Line{Slot: set[i].Slot}
+		}
+	}
+}
+
+// ReadWord reads a little-endian word from a resident line.
+func (ln *Line) ReadWord(addr int64) int64 {
+	off := addr - ln.Tag
+	var v uint64
+	for i := int64(0); i < 8; i++ {
+		v |= uint64(ln.Data[off+i]) << (8 * i)
+	}
+	return int64(v)
+}
+
+// WriteWord writes a little-endian word into a resident line; the caller
+// sets Dirty/DirtyRegion per its policy.
+func (ln *Line) WriteWord(addr, val int64) {
+	off := addr - ln.Tag
+	for i := int64(0); i < 8; i++ {
+		ln.Data[off+i] = byte(uint64(val) >> (8 * i))
+	}
+}
+
+// ReadByte reads one byte from a resident line.
+func (ln *Line) ByteAt(addr int64) byte { return ln.Data[addr-ln.Tag] }
+
+// WriteByte writes one byte into a resident line.
+func (ln *Line) SetByte(addr int64, v byte) { ln.Data[addr-ln.Tag] = v }
+
+// MissRate returns misses / (hits+misses), or 0 with no accesses.
+func (c *Cache) MissRate() float64 {
+	tot := c.Hits + c.Misses
+	if tot == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(tot)
+}

@@ -1,0 +1,234 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func fill(c *Cache, addr int64, b byte) *Line {
+	var data [mem.LineSize]byte
+	for i := range data {
+		data[i] = b
+	}
+	return c.Fill(addr, &data)
+}
+
+func TestHitMiss(t *testing.T) {
+	c := New(4096, 2)
+	if c.Touch(100) != nil {
+		t.Fatal("hit in empty cache")
+	}
+	fill(c, 100, 7)
+	ln := c.Touch(100)
+	if ln == nil {
+		t.Fatal("miss after fill")
+	}
+	if ln.ByteAt(100) != 7 {
+		t.Error("data")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Errorf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+	if c.MissRate() != 0.5 {
+		t.Errorf("miss rate %f", c.MissRate())
+	}
+}
+
+func TestSameSetMapping(t *testing.T) {
+	c := New(4096, 2)
+	nsets := 4096 / 64 / 2
+	a := int64(0)
+	b := int64(nsets * 64) // same set, different tag
+	fill(c, a, 1)
+	fill(c, b, 2)
+	if c.Probe(a) == nil || c.Probe(b) == nil {
+		t.Fatal("two ways should coexist")
+	}
+	// A third line in the same set must evict the LRU (a, untouched).
+	c.Touch(b)
+	fill(c, int64(2*nsets*64), 3)
+	if c.Probe(a) != nil {
+		t.Error("LRU line not evicted")
+	}
+	if c.Probe(b) == nil {
+		t.Error("MRU line evicted")
+	}
+}
+
+func TestVictimPrefersInvalid(t *testing.T) {
+	c := New(4096, 2)
+	fill(c, 0, 1)
+	v := c.Victim(0)
+	if v.Valid {
+		t.Error("victim should be the invalid way")
+	}
+}
+
+func TestFillOverDirtyVictimPanics(t *testing.T) {
+	c := New(128, 2) // one set, two ways
+	fill(c, 0, 1)
+	fill(c, 64, 2)
+	c.Probe(0).Dirty = true
+	c.Probe(64).Dirty = true
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on un-drained dirty victim")
+		}
+	}()
+	fill(c, 128, 3)
+}
+
+func TestWordByteAccessors(t *testing.T) {
+	c := New(4096, 2)
+	ln := fill(c, 256, 0)
+	ln.WriteWord(256+8, -42)
+	if ln.ReadWord(256+8) != -42 {
+		t.Error("word round trip")
+	}
+	ln.SetByte(256+3, 0xAB)
+	if ln.ByteAt(256+3) != 0xAB {
+		t.Error("byte round trip")
+	}
+}
+
+func TestDirtyAndValidLines(t *testing.T) {
+	c := New(4096, 2)
+	fill(c, 0, 1)
+	fill(c, 64, 2)
+	fill(c, 128, 3)
+	c.Probe(64).Dirty = true
+	d := c.DirtyLines(nil)
+	if len(d) != 1 || d[0].Tag != 64 {
+		t.Errorf("dirty lines: %d", len(d))
+	}
+	if len(c.ValidLines(nil)) != 3 {
+		t.Error("valid lines")
+	}
+}
+
+func TestInvalidatePreservesSlots(t *testing.T) {
+	c := New(4096, 2)
+	ln := fill(c, 64, 1)
+	slot := ln.Slot
+	c.Invalidate()
+	if c.Probe(64) != nil {
+		t.Error("line survived invalidate")
+	}
+	ln2 := fill(c, 64, 1)
+	if ln2.Slot != slot {
+		t.Errorf("slot changed across invalidate: %d -> %d", slot, ln2.Slot)
+	}
+}
+
+func TestSlotsUniqueAndStable(t *testing.T) {
+	c := New(2048, 4)
+	seen := map[int]bool{}
+	for _, ln := range allLines(c) {
+		if seen[ln.Slot] {
+			t.Fatalf("duplicate slot %d", ln.Slot)
+		}
+		seen[ln.Slot] = true
+	}
+	if len(seen) != c.NumLines() {
+		t.Errorf("%d slots for %d lines", len(seen), c.NumLines())
+	}
+}
+
+func allLines(c *Cache) []*Line {
+	var out []*Line
+	for si := range c.sets {
+		for i := range c.sets[si] {
+			out = append(out, &c.sets[si][i])
+		}
+	}
+	return out
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, tc := range []struct{ size, ways int }{{0, 2}, {100, 0}, {64, 2}, {192, 1}} {
+		func() {
+			defer func() { recover() }()
+			New(tc.size, tc.ways)
+			t.Errorf("New(%d,%d) did not panic", tc.size, tc.ways)
+		}()
+	}
+}
+
+// TestCacheCoherentWithShadow: property test — a cache over a shadow map
+// returns exactly the shadow's data for every probe, under random fills
+// and writes.
+func TestCacheCoherentWithShadow(t *testing.T) {
+	c := New(1024, 2)
+	shadow := map[int64]int64{} // word addr -> value
+	rng := rand.New(rand.NewSource(1))
+	backing := map[int64][mem.LineSize]byte{}
+
+	readLine := func(la int64) [mem.LineSize]byte { return backing[la] }
+	writeBack := func(ln *Line) {
+		backing[ln.Tag] = ln.Data
+	}
+
+	for i := 0; i < 20000; i++ {
+		addr := int64(rng.Intn(64)) * 8 // 64 words over 8 sets: heavy conflict
+		if rng.Intn(4) < 3 {
+			la := mem.LineAddr(addr)
+			ln := c.Touch(addr)
+			if ln == nil {
+				v := c.Victim(addr)
+				if v.Valid && v.Dirty {
+					writeBack(v)
+					v.Dirty = false
+				}
+				data := readLine(la)
+				ln = c.Fill(addr, &data)
+			}
+			if want := shadow[addr]; ln.ReadWord(addr) != want {
+				t.Fatalf("step %d: read %d != %d", i, ln.ReadWord(addr), want)
+			}
+		} else {
+			v := rng.Int63()
+			la := mem.LineAddr(addr)
+			ln := c.Touch(addr)
+			if ln == nil {
+				vic := c.Victim(addr)
+				if vic.Valid && vic.Dirty {
+					writeBack(vic)
+					vic.Dirty = false
+				}
+				data := readLine(la)
+				ln = c.Fill(addr, &data)
+			}
+			ln.WriteWord(addr, v)
+			ln.Dirty = true
+			shadow[addr] = v
+		}
+	}
+}
+
+func TestLRUQuick(t *testing.T) {
+	// Repeatedly touching one line must keep it resident regardless of
+	// other traffic to the same set.
+	if err := quick.Check(func(seed int64) bool {
+		c := New(128, 2) // one set
+		fill(c, 0, 1)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 100; i++ {
+			c.Touch(0)
+			other := int64(1+rng.Intn(10)) * 64
+			if c.Touch(other) == nil {
+				v := c.Victim(other)
+				if v.Valid && v.Dirty {
+					v.Dirty = false
+				}
+				var d [mem.LineSize]byte
+				c.Fill(other, &d)
+			}
+		}
+		return c.Probe(0) != nil
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

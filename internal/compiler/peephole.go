@@ -1,0 +1,78 @@
+package compiler
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// peephole performs the block-local cleanups an -O3 toolchain would have
+// done long before region formation, so the region statistics are not
+// polluted by dead instructions:
+//
+//   - dead pure definitions (ALU/mov results never read before the next
+//     redefinition or block end with the register dead-out) are removed
+//   - self-moves (mov rX, rX) are removed
+//   - movi/ALU-immediate pairs feeding an address computation are left
+//     alone — they are real work on this ISA
+//
+// Stores, loads (which may have architectural side effects through the
+// memory system) and terminators are never touched. Runs before region
+// formation; returns the number of instructions removed.
+func peephole(p *ir.Program) int {
+	lv := analysis.ComputeLiveness(p)
+	removed := 0
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			removed += peepholeBlock(b, lv.Out[b])
+		}
+	}
+	return removed
+}
+
+// peepholeBlock removes dead pure definitions from one block given its
+// live-out set, scanning backwards.
+func peepholeBlock(b *ir.Block, liveOut analysis.RegSet) int {
+	live := liveOut
+	kept := make([]isa.Instr, 0, len(b.Instrs))
+	// Walk backwards, collecting survivors in reverse.
+	var uses []isa.Reg
+	for i := len(b.Instrs) - 1; i >= 0; i-- {
+		in := b.Instrs[i]
+		pure := in.Op.IsALURR() || in.Op.IsALURI() ||
+			in.Op == isa.OpMovI || in.Op == isa.OpMov
+		if pure {
+			d := isa.Reg(in.Defs())
+			selfMove := in.Op == isa.OpMov && in.Src1 == d
+			if selfMove || !live.Has(d) {
+				continue // dead: drop it
+			}
+		}
+		// Survives: update liveness across it.
+		if in.Op == isa.OpCall {
+			// Conservative inside a block-local pass: treat the call
+			// as using everything (it is a terminator anyway, seen
+			// first in the backward scan, so this only widens live).
+			live = ^analysis.RegSet(0)
+		} else {
+			if d := in.Defs(); d >= 0 {
+				live = live.Remove(isa.Reg(d))
+			}
+			uses = in.Uses(uses[:0])
+			for _, u := range uses {
+				live = live.Add(u)
+			}
+		}
+		kept = append(kept, in)
+	}
+	removed := len(b.Instrs) - len(kept)
+	if removed == 0 {
+		return 0
+	}
+	// Reverse kept back into program order.
+	for i, j := 0, len(kept)-1; i < j; i, j = i+1, j-1 {
+		kept[i], kept[j] = kept[j], kept[i]
+	}
+	b.Instrs = kept
+	return removed
+}

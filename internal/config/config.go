@@ -1,0 +1,266 @@
+// Package config centralizes every simulation parameter: the Table 1
+// machine configuration (voltages, latencies, capacitor, cache geometry,
+// persist-buffer size, propagation delays) and the energy model constants
+// the paper inherits from NVPSim.
+//
+// Where the paper gives a number, the default reproduces it exactly. The
+// remaining energy constants were chosen once, during calibration against
+// the paper's reported aggregate shapes, and are shared by every
+// experiment (see DESIGN.md, "Calibration, not curve-fitting").
+package config
+
+// Params is the full parameter set for one simulation.
+type Params struct {
+	// ---- core timing ----
+
+	// CycleNs is the single-issue core's cycle time in nanoseconds. All
+	// non-memory instructions take one cycle; Mul takes MulCycles and
+	// Div/Rem DivCycles.
+	CycleNs   int64
+	MulCycles int64
+	DivCycles int64
+
+	// ---- NVM (Table 1: ReRAM, 120 ns write / 20 ns read, 16 MB) ----
+
+	NVMSize        int64
+	NVMReadNs      int64 // word-granular read latency
+	NVMWriteNs     int64 // word-granular write latency
+	NVMLineReadNs  int64 // 64 B line fill latency
+	NVMLineWriteNs int64 // 64 B line writeback latency
+
+	// NVPFetchNs is the instruction fetch latency of the cache-free NVP,
+	// which fetches every instruction from NVM. Cache-enabled designs
+	// keep the paper's NVM-technology L1I whose hit time is folded into
+	// the 1-cycle base cost.
+	NVPFetchNs int64
+
+	// ---- SRAM cache (Table 1: 4 kB, 2-way) ----
+
+	CacheSize int
+	CacheWays int
+
+	// ---- persist buffers (Section 4.5) ----
+
+	// StoreThreshold is the persist-buffer capacity in entries and the
+	// compiler's region store bound.
+	StoreThreshold int
+	// FlushPerLineNs is the s-phase1 per-line cost of flushing a dirty
+	// cacheline into the NVM-resident buffer.
+	FlushPerLineNs int64
+	// DrainPerLineNs is the s-phase2 per-line cost of the DMA moving
+	// buffer entries to their home NVM locations (DMA burst throughput,
+	// Section 3.2).
+	DrainPerLineNs int64
+	// SearchPerEntryNs is the sequential buffer-search cost per entry on
+	// a load miss (NVM-resident buffer, Section 4.4); SearchBaseNs is
+	// charged per searched buffer even when it has no entries (reading
+	// the FIFO metadata). The empty-bit variant skips empty buffers
+	// entirely.
+	SearchPerEntryNs int64
+	SearchBaseNs     int64
+
+	// ---- ReplayCache ----
+
+	// ClwbQueueDepth is the number of in-flight asynchronous line
+	// writebacks; a clwb with a full queue stalls.
+	ClwbQueueDepth int
+
+	// ---- voltages (Table 1) ----
+
+	Vmax float64 // fully-charged capacitor
+	Vmin float64 // brown-out: execution is impossible below this
+
+	// VBackup is the JIT-checkpoint trigger voltage (unused by
+	// SweepCache). VRestore is the reboot voltage.
+	VBackup  float64
+	VRestore float64
+
+	// CapacitorF is the storage capacitance in farads (Table 1: 470 nF).
+	CapacitorF float64
+
+	// VBackupBoost raises the JIT backup threshold by this fraction of
+	// the (Vmax - VBackup) headroom, modelling the safety margin that
+	// capacitor degradation forces (Section 2.2). 0 disables it.
+	VBackupBoost float64
+
+	// ---- propagation delays (Table 1, Section 2.2) ----
+
+	// BackupDelayNs (T_phl) elapses between the monitor tripping and the
+	// backup starting; RestoreDelayNs (T_plh) between reaching VRestore
+	// and execution resuming.
+	BackupDelayNs  int64
+	RestoreDelayNs int64
+	// SweepRestoreDelayNs is the restore delay of SweepCache's simpler
+	// single-threshold comparator (Table 1: 1.1 us; raised to 10.3 us in
+	// the Figure 11a sensitivity study).
+	SweepRestoreDelayNs int64
+
+	// ---- energy model (NVPSim-style, joules) ----
+
+	// EInstr is the core energy of one instruction's execute stage;
+	// ESRAMAccess the L1D hit energy; ENVMRead/ENVMWrite word-granular
+	// NVM access energies; ENVMLineRead/ENVMLineWrite 64 B transfers.
+	EInstr        float64
+	ESRAMAccess   float64
+	ENVMRead      float64
+	ENVMWrite     float64
+	ENVMLineRead  float64
+	ENVMLineWrite float64
+
+	// EBackupFixed is the fixed JIT backup energy (register file to NVFF
+	// with the parallel-transfer inrush the paper describes);
+	// EBackupPerLine is the additional cost per cacheline backed up to
+	// the NVSRAM counterpart. ERestoreFixed/ERestorePerLine are the
+	// corresponding restore costs; ESweepRestore is SweepCache's much
+	// lighter software restore (checkpoint-array reads).
+	EBackupFixed    float64
+	EBackupPerLine  float64
+	ERestoreFixed   float64
+	ERestorePerLine float64
+	ESweepRestore   float64
+
+	// PSleep is the drawn power while waiting for recharge (monitor +
+	// leakage); PRun is the static power while running, on top of
+	// per-operation energies.
+	PSleep float64
+	PRun   float64
+
+	// BackupTimeNs/RestoreTimeNs are the fixed parts of JIT backup and
+	// restore, plus per-line costs for cache backup schemes.
+	BackupTimeNs     int64
+	BackupPerLineNs  int64
+	RestoreTimeNs    int64
+	RestorePerLineNs int64
+
+	// ---- NvMR (Section 6.7) ----
+
+	// NvMRRenameCap is the number of distinct renamed lines after which
+	// NvMR must take another backup to free rename resources.
+	NvMRRenameCap int
+
+	// ---- ablations ----
+
+	// SweepSingleBuffer disables region-level parallelism: a region end
+	// stalls until its own buffer finishes s-phase2, reproducing
+	// Figure 3's "No Parallelism Case".
+	SweepSingleBuffer bool
+	// CompilerUnrollCap overrides the compiler's loop-unrolling factor
+	// cap (0 = default; 1 disables unrolling).
+	CompilerUnrollCap int
+	// CompilerInline enables the Section 5 small-function inlining
+	// optimization.
+	CompilerInline bool
+	// SweepVmin, when positive, overrides Vmin for SweepCache only —
+	// Table 1's footnote: the simpler single-threshold comparator can
+	// afford a lower brown-out voltage (the paper cites 1.8 V for an
+	// extra 10-15%).
+	SweepVmin float64
+}
+
+// Default returns the paper's configuration (Table 1) for the given
+// scheme-independent machine; scheme-specific voltage thresholds are
+// selected by the scheme constructors via the With* helpers.
+func Default() Params {
+	return Params{
+		CycleNs:   2, // 500 MHz in-order core
+		MulCycles: 3,
+		DivCycles: 12,
+
+		NVMSize:        16 << 20,
+		NVMReadNs:      20,
+		NVMWriteNs:     120,
+		NVMLineReadNs:  40,
+		NVMLineWriteNs: 120,
+		NVPFetchNs:     20,
+
+		CacheSize: 4 << 10,
+		CacheWays: 2,
+
+		StoreThreshold:   64,
+		FlushPerLineNs:   10,
+		DrainPerLineNs:   15,
+		SearchPerEntryNs: 20,
+		SearchBaseNs:     20,
+
+		ClwbQueueDepth: 4,
+
+		Vmax:       3.5,
+		Vmin:       2.8,
+		VBackup:    2.9, // NVP/ReplayCache default; NVSRAM overrides
+		VRestore:   3.2,
+		CapacitorF: 470e-9,
+
+		BackupDelayNs:       1500,  // T_phl = 1.5 us
+		RestoreDelayNs:      10300, // T_plh = 10.3 us
+		SweepRestoreDelayNs: 1100,
+
+		EInstr:        2e-12,
+		ESRAMAccess:   1e-12,
+		ENVMRead:      10e-12,
+		ENVMWrite:     30e-12,
+		ENVMLineRead:  20e-12,
+		ENVMLineWrite: 10e-12,
+
+		EBackupFixed:    150e-9,
+		EBackupPerLine:  2e-9,
+		ERestoreFixed:   60e-9,
+		ERestorePerLine: 1e-9,
+		ESweepRestore:   5e-9,
+
+		PSleep: 2e-6,
+		PRun:   10e-3,
+
+		BackupTimeNs:     1000,
+		BackupPerLineNs:  60,
+		RestoreTimeNs:    500,
+		RestorePerLineNs: 40,
+
+		NvMRRenameCap: 16,
+	}
+}
+
+// boost applies the Section 2.2 degradation margin to a JIT backup
+// threshold.
+func (p Params) boost() Params {
+	if p.VBackupBoost > 0 {
+		p.VBackup += p.VBackupBoost * (p.Vmax - p.VBackup)
+		if p.VBackup >= p.VRestore {
+			p.VBackup = p.VRestore - 0.05
+		}
+	}
+	return p
+}
+
+// WithNVPThresholds returns p with the NVP/ReplayCache voltage settings
+// (Table 1: backup 2.9, restore 3.2).
+func (p Params) WithNVPThresholds() Params {
+	p.VBackup, p.VRestore = 2.9, 3.2
+	return p.boost()
+}
+
+// WithNVSRAMThresholds returns p with the NVSRAM voltage settings
+// (Table 1: backup 3.2, restore 3.4 — the headroom that guarantees a
+// failure-atomic whole-cache backup).
+func (p Params) WithNVSRAMThresholds() Params {
+	p.VBackup, p.VRestore = 3.2, 3.4
+	return p.boost()
+}
+
+// WithSweepThresholds returns p with SweepCache's settings: no backup
+// threshold, restore at 3.3, and the cheap single-threshold comparator's
+// restore propagation delay (Table 1: 1.1 us; no backup delay).
+func (p Params) WithSweepThresholds() Params {
+	p.VBackup = 0 // unused: SweepCache runs down to Vmin
+	p.VRestore = 3.3
+	p.BackupDelayNs = 0
+	p.RestoreDelayNs = p.SweepRestoreDelayNs
+	if p.SweepVmin > 0 {
+		p.Vmin = p.SweepVmin
+	}
+	return p
+}
+
+// UsableEnergy returns the energy between two voltages on this capacitor.
+func (p Params) UsableEnergy(vhi, vlo float64) float64 {
+	return 0.5 * p.CapacitorF * (vhi*vhi - vlo*vlo)
+}

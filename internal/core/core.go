@@ -1,0 +1,96 @@
+// Package core is the public façade of the SweepCache reproduction: it
+// wires a workload builder through the right compiler mode for a scheme,
+// constructs the machine, and runs the energy-coupled simulation. The
+// examples and experiment drivers sit on top of this package.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/compiler"
+	"repro/internal/config"
+	"repro/internal/ir"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Builder constructs a fresh program. Compilation is destructive, so every
+// run must build anew; a Builder must be deterministic.
+type Builder func() *ir.Program
+
+// ModeFor maps a scheme to its compiler mode: SweepCache variants get the
+// region/checkpoint pipeline, ReplayCache the clwb/fence lowering, and the
+// JIT-checkpoint designs run plain binaries.
+func ModeFor(kind arch.Kind) compiler.Mode {
+	return compiler.Mode(kind.CompilerMode())
+}
+
+// Compile builds and compiles the program for the scheme.
+func Compile(build Builder, kind arch.Kind, p config.Params) (*compiler.Result, error) {
+	return compiler.Compile(build(), compiler.Options{
+		Mode:             ModeFor(kind),
+		StoreThreshold:   p.StoreThreshold,
+		UnrollCap:        p.CompilerUnrollCap,
+		InlineSmallFuncs: p.CompilerInline,
+	})
+}
+
+// Run compiles build for kind and executes it under the given power source
+// (nil = outage-free).
+func Run(build Builder, kind arch.Kind, p config.Params, src trace.Source) (*sim.Result, error) {
+	cres, err := Compile(build, kind, p)
+	if err != nil {
+		return nil, fmt.Errorf("core: compile for %v: %w", kind, err)
+	}
+	scheme := arch.New(kind, p)
+	res, err := sim.Run(cres.Linked, scheme, sim.Options{Source: src})
+	if err != nil {
+		return res, fmt.Errorf("core: run %v: %w", kind, err)
+	}
+	return res, nil
+}
+
+// Speedup returns how much faster b finished than a (total wall-clock).
+func Speedup(a, b *sim.Result) float64 {
+	return float64(a.TimeNs) / float64(b.TimeNs)
+}
+
+// Comparison is the result of running one workload on several schemes.
+type Comparison struct {
+	Baseline *sim.Result
+	Results  map[arch.Kind]*sim.Result
+}
+
+// SpeedupOver returns kind's speedup over the comparison baseline.
+func (c *Comparison) SpeedupOver(kind arch.Kind) float64 {
+	return Speedup(c.Baseline, c.Results[kind])
+}
+
+// Compare runs build on NVP (the baseline) and on each requested scheme
+// under per-scheme fresh cursors of the same trace profile, so every
+// machine experiences the identical energy timeline.
+func Compare(build Builder, kinds []arch.Kind, p config.Params, profile *trace.Profile, seed int64) (*Comparison, error) {
+	src := func() trace.Source {
+		if profile == nil {
+			return nil
+		}
+		return trace.New(*profile, seed)
+	}
+	base, err := Run(build, arch.NVP, p, src())
+	if err != nil {
+		return nil, err
+	}
+	cmp := &Comparison{Baseline: base, Results: map[arch.Kind]*sim.Result{arch.NVP: base}}
+	for _, k := range kinds {
+		if k == arch.NVP {
+			continue
+		}
+		r, err := Run(build, k, p, src())
+		if err != nil {
+			return nil, err
+		}
+		cmp.Results[k] = r
+	}
+	return cmp, nil
+}

@@ -1,0 +1,172 @@
+// Package cpu implements the single-issue in-order core: an interpreter
+// over isa code with per-instruction latency accounting. All memory
+// behaviour — caches, persist buffers, NVM, persistence stalls — is behind
+// the MemSystem interface that each architecture scheme implements.
+//
+// Energy is not returned by Step: schemes and the engine attribute energy
+// to the shared ledger directly, and the engine draws the ledger delta from
+// the capacitor after each step (see internal/sim).
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// Regs is the architectural register file.
+type Regs [isa.NumRegs]int64
+
+// Cost is the time cost of an operation in nanoseconds.
+type Cost struct {
+	Ns int64
+}
+
+// Add accumulates another cost.
+func (c *Cost) Add(o Cost) { c.Ns += o.Ns }
+
+// MemSystem is the per-scheme memory hierarchy. now is the current
+// simulation time; implementations use it to resolve persistence stalls
+// and background completions.
+type MemSystem interface {
+	// Fetch charges the instruction-fetch cost beyond the 1-cycle base
+	// (only the cache-free NVP pays NVM latency here).
+	Fetch(now int64) Cost
+	// Load reads a word (or a zero-extended byte) from addr.
+	Load(now int64, addr int64, byteWide bool) (int64, Cost)
+	// Store writes a word (or the low byte of val) to addr.
+	Store(now int64, addr int64, val int64, byteWide bool) Cost
+	// RegionEnd runs the SweepCache region-boundary protocol; other
+	// schemes never see it.
+	RegionEnd(now int64) Cost
+	// Clwb writes back the line containing addr (ReplayCache).
+	Clwb(now int64, addr int64) Cost
+	// Fence drains outstanding writebacks (ReplayCache).
+	Fence(now int64) Cost
+}
+
+// Counts tallies dynamically executed instructions by class.
+type Counts struct {
+	Executed   uint64
+	Loads      uint64
+	Stores     uint64 // plain stores only
+	CkptStores uint64
+	SavePCs    uint64
+	RegionEnds uint64
+	Clwbs      uint64
+	Fences     uint64
+	Calls      uint64
+	Branches   uint64
+}
+
+// CPU is the architectural core state.
+type CPU struct {
+	Regs   Regs
+	PC     int64
+	Code   []isa.Instr
+	Halted bool
+	Counts Counts
+}
+
+// New returns a core ready to run code from entryPC.
+func New(code []isa.Instr, entryPC int64) *CPU {
+	return &CPU{Code: code, PC: entryPC}
+}
+
+// StepTiming carries the per-op latencies the core itself owns.
+type StepTiming struct {
+	CycleNs   int64
+	MulCycles int64
+	DivCycles int64
+}
+
+// Step executes the instruction at PC against ms and returns its time
+// cost. It panics on malformed code (the linker guarantees well-formed
+// programs).
+func (c *CPU) Step(now int64, ms MemSystem, t StepTiming) Cost {
+	if c.Halted {
+		return Cost{}
+	}
+	in := c.Code[c.PC]
+	cost := Cost{Ns: t.CycleNs}
+	cost.Add(ms.Fetch(now))
+	next := c.PC + 1
+	c.Counts.Executed++
+
+	switch {
+	case in.Op == isa.OpNop:
+
+	case in.Op.IsALURR():
+		c.Regs[in.Dst] = isa.EvalALU(in.Op, c.Regs[in.Src1], c.Regs[in.Src2])
+		cost.Ns += c.aluExtra(in.Op, t)
+	case in.Op.IsALURI():
+		c.Regs[in.Dst] = isa.EvalALU(in.Op, c.Regs[in.Src1], in.Imm)
+		cost.Ns += c.aluExtra(in.Op, t)
+	case in.Op == isa.OpMovI:
+		c.Regs[in.Dst] = in.Imm
+	case in.Op == isa.OpMov:
+		c.Regs[in.Dst] = c.Regs[in.Src1]
+
+	case in.Op == isa.OpLd, in.Op == isa.OpLdB:
+		c.Counts.Loads++
+		v, mc := ms.Load(now+cost.Ns, c.Regs[in.Src1]+in.Imm, in.Op == isa.OpLdB)
+		c.Regs[in.Dst] = v
+		cost.Add(mc)
+	case in.Op == isa.OpSt, in.Op == isa.OpStB:
+		c.Counts.Stores++
+		mc := ms.Store(now+cost.Ns, c.Regs[in.Src1]+in.Imm, c.Regs[in.Src2], in.Op == isa.OpStB)
+		cost.Add(mc)
+
+	case in.Op.IsBranch():
+		c.Counts.Branches++
+		if isa.BranchTaken(in.Op, c.Regs[in.Src1], c.Regs[in.Src2]) {
+			next = int64(in.Target)
+		}
+	case in.Op == isa.OpJmp:
+		next = int64(in.Target)
+	case in.Op == isa.OpCall:
+		c.Counts.Calls++
+		c.Regs[isa.LR] = c.PC + 1
+		next = int64(in.Target)
+	case in.Op == isa.OpRet:
+		next = c.Regs[isa.LR]
+	case in.Op == isa.OpHalt:
+		c.Halted = true
+		next = c.PC
+
+	case in.Op == isa.OpCkptSt:
+		c.Counts.CkptStores++
+		mc := ms.Store(now+cost.Ns, ir.CkptSlotAddr(in.Src2), c.Regs[in.Src2], false)
+		cost.Add(mc)
+	case in.Op == isa.OpSavePC:
+		c.Counts.SavePCs++
+		mc := ms.Store(now+cost.Ns, ir.PCSlotAddr, in.Imm, false)
+		cost.Add(mc)
+	case in.Op == isa.OpRegionEnd:
+		c.Counts.RegionEnds++
+		cost.Add(ms.RegionEnd(now + cost.Ns))
+	case in.Op == isa.OpClwb:
+		c.Counts.Clwbs++
+		cost.Add(ms.Clwb(now+cost.Ns, c.Regs[in.Src1]+in.Imm))
+	case in.Op == isa.OpFence:
+		c.Counts.Fences++
+		cost.Add(ms.Fence(now + cost.Ns))
+
+	default:
+		panic(fmt.Sprintf("cpu: unknown op %v at pc %d", in.Op, c.PC))
+	}
+
+	c.PC = next
+	return cost
+}
+
+func (c *CPU) aluExtra(op isa.Op, t StepTiming) int64 {
+	switch op {
+	case isa.OpMul, isa.OpMulI:
+		return (t.MulCycles - 1) * t.CycleNs
+	case isa.OpDiv, isa.OpRem:
+		return (t.DivCycles - 1) * t.CycleNs
+	}
+	return 0
+}

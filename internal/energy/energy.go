@@ -1,0 +1,73 @@
+// Package energy models the harvested-energy storage of an intermittent
+// system: a small capacitor whose stored energy is E = ½CV², charged by a
+// power trace and drained by execution, plus a ledger that attributes every
+// consumed joule to a category for the Figure 13 breakdown.
+package energy
+
+import "math"
+
+// Capacitor is the energy store. Voltage is the state variable; energy
+// conversions use E = ½CV².
+type Capacitor struct {
+	C    float64 // farads
+	Vmax float64 // clamp voltage
+	v    float64
+}
+
+// NewCapacitor returns a capacitor charged to vInit.
+func NewCapacitor(c, vmax, vInit float64) *Capacitor {
+	return &Capacitor{C: c, Vmax: vmax, v: vInit}
+}
+
+// V returns the current voltage.
+func (c *Capacitor) V() float64 { return c.v }
+
+// Energy returns the stored energy in joules.
+func (c *Capacitor) Energy() float64 { return 0.5 * c.C * c.v * c.v }
+
+// SetVoltage forces the voltage (used for initialization).
+func (c *Capacitor) SetVoltage(v float64) { c.v = math.Min(v, c.Vmax) }
+
+// Add charges the capacitor by j joules, clamping at Vmax. Returns the
+// energy actually absorbed.
+func (c *Capacitor) Add(j float64) float64 {
+	if j <= 0 {
+		return 0
+	}
+	e := c.Energy() + j
+	emax := 0.5 * c.C * c.Vmax * c.Vmax
+	absorbed := j
+	if e > emax {
+		absorbed -= e - emax
+		e = emax
+	}
+	c.v = math.Sqrt(2 * e / c.C)
+	return absorbed
+}
+
+// Draw removes j joules, flooring at zero volts.
+func (c *Capacitor) Draw(j float64) {
+	e := c.Energy() - j
+	if e < 0 {
+		e = 0
+	}
+	c.v = math.Sqrt(2 * e / c.C)
+}
+
+// EnergyAt returns the stored energy the capacitor would hold at voltage v.
+func (c *Capacitor) EnergyAt(v float64) float64 { return 0.5 * c.C * v * v }
+
+// Ledger attributes consumed energy to categories (joules).
+type Ledger struct {
+	Compute float64 // core execution incl. SRAM accesses
+	NVM     float64 // demand NVM traffic
+	Persist float64 // persist-buffer flush/drain traffic and clwb drains
+	Backup  float64 // JIT backup events
+	Restore float64 // restore events after reboot
+	Sleep   float64 // recharge-wait monitor/leakage draw
+}
+
+// Total returns all consumed energy.
+func (l *Ledger) Total() float64 {
+	return l.Compute + l.NVM + l.Persist + l.Backup + l.Restore + l.Sleep
+}

@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/trace"
+)
+
+// The WriteCSV methods export experiment results as plain CSV so the
+// figures can be re-plotted outside the terminal (gnuplot, matplotlib,
+// spreadsheets). Column order is stable.
+
+// WriteCSV exports a Figure 5/6/7-style result: one row per workload.
+func (r *SpeedupResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "benchmark,replaycache,nvsram,sweep_nvmsearch,sweep_emptybit"); err != nil {
+		return err
+	}
+	for _, n := range r.Matrix.Names {
+		if _, err := fmt.Fprintf(w, "%s,%.4f,%.4f,%.4f,%.4f\n", n,
+			r.Matrix.Speedup(n, arch.ReplayCache),
+			r.Matrix.Speedup(n, arch.NVSRAM),
+			r.Matrix.Speedup(n, arch.SweepNVMSearch),
+			r.Matrix.Speedup(n, arch.SweepEmptyBit)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "geomean,%.4f,%.4f,%.4f,%.4f\n",
+		r.GeoAll[arch.ReplayCache], r.GeoAll[arch.NVSRAM],
+		r.GeoAll[arch.SweepNVMSearch], r.GeoAll[arch.SweepEmptyBit])
+	return err
+}
+
+// WriteCSV exports the Figure 9 capacitor sweep: one row per capacitor.
+func (r *CapacitorSweepResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "capacitor_f,replaycache,nvsram,sweep,sweep_abs,outages_nvp,outages_replay,outages_nvsram,outages_sweep"); err != nil {
+		return err
+	}
+	caps := append([]float64(nil), r.Caps...)
+	sort.Float64s(caps)
+	for _, cf := range caps {
+		if _, err := fmt.Fprintf(w, "%g,%.4f,%.4f,%.4f,%.4f,%.2f,%.2f,%.2f,%.2f\n", cf,
+			r.Relative[cf][arch.ReplayCache], r.Relative[cf][arch.NVSRAM],
+			r.Relative[cf][arch.SweepEmptyBit], r.Absolute[cf][arch.SweepEmptyBit],
+			r.Outages[cf][arch.NVP], r.Outages[cf][arch.ReplayCache],
+			r.Outages[cf][arch.NVSRAM], r.Outages[cf][arch.SweepEmptyBit]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV exports the Figure 12 CDFs: value, cdf_region_size, cdf_stores.
+func (r *Fig12Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "value,cdf_region_size,cdf_stores_per_region"); err != nil {
+		return err
+	}
+	sizes := r.RegionSizes.CDF()
+	stores := r.StoresPerRegion.CDF()
+	n := len(sizes)
+	if len(stores) > n {
+		n = len(stores)
+	}
+	for i := 0; i < n; i++ {
+		sv, st := 1.0, 1.0
+		if i < len(sizes) {
+			sv = sizes[i]
+		}
+		if i < len(stores) {
+			st = stores[i]
+		}
+		if _, err := fmt.Fprintf(w, "%d,%.6f,%.6f\n", i, sv, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV exports the Figure 10 per-trace geomeans.
+func (r *Fig10Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "trace,replaycache,nvsram,sweep"); err != nil {
+		return err
+	}
+	for _, pr := range trace.Profiles() {
+		if _, err := fmt.Fprintf(w, "%s,%.4f,%.4f,%.4f\n", pr,
+			r.Speedup[pr][arch.ReplayCache], r.Speedup[pr][arch.NVSRAM],
+			r.Speedup[pr][arch.SweepEmptyBit]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

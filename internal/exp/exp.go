@@ -1,0 +1,181 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation (Section 6). One driver per experiment; each prints the same
+// rows/series the paper reports and returns a typed result the tests and
+// benchmarks assert on. See EXPERIMENTS.md for paper-vs-measured numbers.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Context configures an experiment run.
+type Context struct {
+	Params config.Params
+	// Scale multiplies workload sizes (1 = evaluation default).
+	Scale int
+	// Seed selects the synthetic power-trace timeline.
+	Seed int64
+	// Quick restricts sweeps to a representative workload subset, for
+	// tests and benchmarks.
+	Quick bool
+	// Out receives the printed tables; nil discards them.
+	Out io.Writer
+}
+
+// DefaultContext returns the evaluation configuration.
+func DefaultContext() *Context {
+	return &Context{Params: config.Default(), Scale: 1, Seed: 1}
+}
+
+func (c *Context) printf(format string, args ...any) {
+	if c.Out != nil {
+		fmt.Fprintf(c.Out, format, args...)
+	}
+}
+
+// quickSet is the sweep subset: two of each flavour (codec, crypto, image,
+// irregular).
+var quickSet = map[string]bool{
+	"adpcmenc": true, "gsmdec": true, "sha": true, "susane": true,
+	"dijkstra": true, "fft": true, "blowfishenc": true, "rijndaelenc": true,
+}
+
+// Workloads returns the experiment's workload list.
+func (c *Context) Workloads() []workloads.Workload {
+	all := workloads.All()
+	if !c.Quick {
+		return all
+	}
+	var out []workloads.Workload
+	for _, w := range all {
+		if quickSet[w.Name] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func (c *Context) builder(w workloads.Workload) core.Builder {
+	scale := c.Scale
+	return func() *ir.Program { return w.Build(scale) }
+}
+
+// cell identifies one simulation in a run matrix.
+type cell struct {
+	Workload string
+	Kind     arch.Kind
+}
+
+// Matrix holds the results of workloads × schemes under one configuration.
+type Matrix struct {
+	Kinds   []arch.Kind
+	Names   []string
+	Results map[cell]*sim.Result
+}
+
+// Get returns the result for (workload, kind).
+func (m *Matrix) Get(name string, k arch.Kind) *sim.Result {
+	return m.Results[cell{name, k}]
+}
+
+// Speedup returns kind's speedup over NVP for one workload.
+func (m *Matrix) Speedup(name string, k arch.Kind) float64 {
+	return float64(m.Get(name, arch.NVP).TimeNs) / float64(m.Get(name, k).TimeNs)
+}
+
+// GeomeanSpeedup aggregates speedups over a set of workload names (nil =
+// all).
+func (m *Matrix) GeomeanSpeedup(k arch.Kind, names []string) float64 {
+	if names == nil {
+		names = m.Names
+	}
+	xs := make([]float64, 0, len(names))
+	for _, n := range names {
+		xs = append(xs, m.Speedup(n, k))
+	}
+	return stats.Geomean(xs)
+}
+
+// runMatrix executes every workload on NVP plus the requested kinds, in
+// parallel, under fresh per-run cursors of the same trace profile (nil =
+// outage-free). Deterministic: each run sees the identical timeline.
+func (c *Context) runMatrix(kinds []arch.Kind, profile *trace.Profile, p config.Params) (*Matrix, error) {
+	wl := c.Workloads()
+	m := &Matrix{Kinds: kinds, Results: map[cell]*sim.Result{}}
+	for _, w := range wl {
+		m.Names = append(m.Names, w.Name)
+	}
+
+	allKinds := append([]arch.Kind{arch.NVP}, kinds...)
+	type job struct {
+		w workloads.Workload
+		k arch.Kind
+	}
+	var jobs []job
+	for _, w := range wl {
+		for _, k := range allKinds {
+			if k == arch.NVP && m.Results[cell{w.Name, k}] != nil {
+				continue
+			}
+			jobs = append(jobs, job{w, k})
+		}
+	}
+
+	var (
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		sem  = make(chan struct{}, runtime.NumCPU())
+		errs []error
+	)
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var src trace.Source
+			if profile != nil {
+				src = trace.New(*profile, c.Seed)
+			}
+			res, err := core.Run(c.builder(j.w), j.k, p, src)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, fmt.Errorf("%s on %v: %w", j.w.Name, j.k, err))
+				return
+			}
+			m.Results[cell{j.w.Name, j.k}] = res
+		}(j)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		sort.Slice(errs, func(i, k int) bool { return errs[i].Error() < errs[k].Error() })
+		return nil, errs[0]
+	}
+	return m, nil
+}
+
+// suites splits the matrix workload names by benchmark suite.
+func (c *Context) suites() (media, mi []string) {
+	for _, w := range c.Workloads() {
+		if w.Suite == "mediabench" {
+			media = append(media, w.Name)
+		} else {
+			mi = append(mi, w.Name)
+		}
+	}
+	return
+}

@@ -1,0 +1,254 @@
+// Package fuzz generates random—but always well-formed—IR programs for
+// differential testing: every generated program terminates, stays within
+// its data segment, and exercises loops, branches, calls, byte and word
+// memory traffic, and enough stores to stress region formation.
+//
+// The generator is seeded and deterministic. Differential tests run the
+// same program on every scheme and under many outage patterns and demand
+// identical final memory images; any divergence is a crash-consistency or
+// functional-transparency bug somewhere in the stack.
+package fuzz
+
+import (
+	"math/rand"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// Config bounds the generated program.
+type Config struct {
+	// MaxOuterIters bounds the top-level loop trip count. Default 40.
+	MaxOuterIters int
+	// MaxBodyOps bounds the random straight-line ops per block. Default 12.
+	MaxBodyOps int
+	// DataWords is the size of the scratch array. Default 512.
+	DataWords int
+	// Funcs is how many callable helper functions to generate. Default 2.
+	Funcs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxOuterIters == 0 {
+		c.MaxOuterIters = 40
+	}
+	if c.MaxBodyOps == 0 {
+		c.MaxBodyOps = 12
+	}
+	if c.DataWords == 0 {
+		c.DataWords = 512
+	}
+	if c.Funcs == 0 {
+		c.Funcs = 2
+	}
+	return c
+}
+
+// gen carries generation state.
+type gen struct {
+	rng  *rand.Rand
+	p    *ir.Program
+	cfg  Config
+	base int64 // scratch array base
+	mask int64 // index mask (DataWords-1)
+
+	callees []*ir.Function
+}
+
+// Generate builds a random program from the seed. Identical seeds yield
+// identical programs.
+func Generate(seed int64, cfg Config) *ir.Program {
+	cfg = cfg.withDefaults()
+	// Round DataWords to a power of two for cheap index masking.
+	dw := 1
+	for dw < cfg.DataWords {
+		dw <<= 1
+	}
+	cfg.DataWords = dw
+
+	g := &gen{rng: rand.New(rand.NewSource(seed)), cfg: cfg}
+	g.p = ir.NewProgram("fuzz")
+	g.base = g.p.Alloc(int64(dw) * 8)
+	g.mask = int64(dw - 1)
+	for i := 0; i < dw; i++ {
+		g.p.InitWord(g.base+int64(i)*8, g.rng.Int63n(1<<32))
+	}
+
+	// Helper functions first, so calls can reference them. Each helper
+	// works on registers r0..r3 and the scratch array, then returns.
+	main := g.p.NewFunc("main")
+	g.p.SetEntry(main)
+	for i := 0; i < cfg.Funcs; i++ {
+		g.callees = append(g.callees, g.helper(i))
+	}
+
+	g.buildMain(main)
+	if err := g.p.Validate(); err != nil {
+		panic("fuzz: generated invalid program: " + err.Error())
+	}
+	return g.p
+}
+
+// Register conventions inside generated code:
+//
+//	r0..r5   free computation registers
+//	r8       outer loop counter        r9  outer limit
+//	r10, r11 address scratch
+//	r12      inner loop counter        r13 inner limit
+//	r14      running checksum
+const (
+	rCtr   = isa.Reg(8)
+	rLim   = isa.Reg(9)
+	rAddrA = isa.Reg(10)
+	rAddrB = isa.Reg(11)
+	rICtr  = isa.Reg(12)
+	rILim  = isa.Reg(13)
+	rSum   = isa.Reg(14)
+)
+
+// emitRandomOps appends n random ALU/memory ops to b using r0..r5 plus the
+// checksum register. All memory accesses are masked into the scratch
+// array, so any register value yields a legal address.
+func (g *gen) emitRandomOps(b *ir.Block, n int) {
+	for i := 0; i < n; i++ {
+		d := isa.Reg(g.rng.Intn(6))
+		a := isa.Reg(g.rng.Intn(6))
+		c := isa.Reg(g.rng.Intn(6))
+		switch g.rng.Intn(10) {
+		case 0:
+			b.MovI(d, g.rng.Int63n(1<<20)-1<<19)
+		case 1:
+			b.Add(d, a, c)
+		case 2:
+			b.Sub(d, a, c)
+		case 3:
+			b.Mul(d, a, c)
+		case 4:
+			b.XorI(d, a, g.rng.Int63n(1<<16))
+		case 5:
+			b.ShrI(d, a, int64(g.rng.Intn(15)+1))
+		case 6, 7: // load
+			g.addr(b, a)
+			if g.rng.Intn(4) == 0 {
+				b.LdB(d, rAddrA, int64(g.rng.Intn(8)))
+			} else {
+				b.Ld(d, rAddrA, 0)
+			}
+			b.Add(rSum, rSum, d)
+		case 8, 9: // store
+			g.addr(b, a)
+			if g.rng.Intn(4) == 0 {
+				b.StB(rAddrA, int64(g.rng.Intn(8)), c)
+			} else {
+				b.St(rAddrA, 0, c)
+			}
+		}
+	}
+}
+
+// addr computes a masked scratch-array word address from reg into rAddrA.
+func (g *gen) addr(b *ir.Block, reg isa.Reg) {
+	b.And(rAddrB, reg, reg) // copy through AND to vary dataflow
+	b.AndI(rAddrB, rAddrB, g.mask)
+	b.ShlI(rAddrB, rAddrB, 3)
+	b.MovI(rAddrA, g.base)
+	b.Add(rAddrA, rAddrA, rAddrB)
+}
+
+// helper builds one callable leaf function: a small bounded loop over the
+// scratch array with random ops.
+func (g *gen) helper(idx int) *ir.Function {
+	f := g.p.NewFunc("helper" + string(rune('a'+idx)))
+	en := f.Entry()
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	iters := int64(g.rng.Intn(6) + 2)
+	en.MovI(rICtr, 0)
+	en.MovI(rILim, iters)
+	en.Jmp(head)
+	head.Bge(rICtr, rILim, exit, body)
+	g.emitRandomOps(body, g.rng.Intn(g.cfg.MaxBodyOps)+2)
+	body.AddI(rICtr, rICtr, 1)
+	body.Jmp(head)
+	exit.Ret()
+	return f
+}
+
+// buildMain builds the entry function: an outer counted loop whose body is
+// a random mix of straight-line ops, an if-diamond, an inner loop, and an
+// occasional helper call; then a final fold of the checksum into the
+// scratch array.
+func (g *gen) buildMain(f *ir.Function) {
+	en := f.Entry()
+	outerIters := int64(g.rng.Intn(g.cfg.MaxOuterIters) + 5)
+	en.MovI(rCtr, 0)
+	en.MovI(rLim, outerIters)
+	en.MovI(rSum, 0)
+	for r := isa.Reg(0); r < 6; r++ {
+		en.MovI(r, g.rng.Int63n(1<<16))
+	}
+
+	head := f.NewBlock("o.head")
+	body := f.NewBlock("o.body")
+	exit := f.NewBlock("o.exit")
+	en.Jmp(head)
+	head.Bge(rCtr, rLim, exit, body)
+
+	cur := body
+	g.emitRandomOps(cur, g.rng.Intn(g.cfg.MaxBodyOps)+2)
+
+	// Optional if-diamond.
+	if g.rng.Intn(2) == 0 {
+		thenB := f.NewBlock("o.then")
+		elseB := f.NewBlock("o.else")
+		join := f.NewBlock("o.join")
+		a := isa.Reg(g.rng.Intn(6))
+		c := isa.Reg(g.rng.Intn(6))
+		ops := []func(*ir.Block, isa.Reg, isa.Reg, *ir.Block, *ir.Block){
+			(*ir.Block).Beq, (*ir.Block).Bne, (*ir.Block).Blt, (*ir.Block).Bge,
+		}
+		ops[g.rng.Intn(len(ops))](cur, a, c, thenB, elseB)
+		g.emitRandomOps(thenB, g.rng.Intn(6)+1)
+		thenB.Jmp(join)
+		g.emitRandomOps(elseB, g.rng.Intn(6)+1)
+		elseB.Jmp(join)
+		cur = join
+	}
+
+	// Optional inner counted loop.
+	if g.rng.Intn(2) == 0 {
+		ih := f.NewBlock("i.head")
+		ib := f.NewBlock("i.body")
+		ix := f.NewBlock("i.exit")
+		cur.MovI(rICtr, 0)
+		cur.MovI(rILim, int64(g.rng.Intn(8)+2))
+		cur.Jmp(ih)
+		ih.Bge(rICtr, rILim, ix, ib)
+		g.emitRandomOps(ib, g.rng.Intn(g.cfg.MaxBodyOps)+1)
+		ib.AddI(rICtr, rICtr, 1)
+		ib.Jmp(ih)
+		cur = ix
+	}
+
+	// Optional helper call. The callee clobbers r0..r5 and rICtr/rILim,
+	// which is exactly the kind of interprocedural liveness pressure the
+	// checkpoint machinery must get right.
+	if len(g.callees) > 0 && g.rng.Intn(2) == 0 {
+		cont := f.NewBlock("o.cont")
+		cur.Call(g.callees[g.rng.Intn(len(g.callees))], cont)
+		cur = cont
+	}
+
+	g.emitRandomOps(cur, g.rng.Intn(4)+1)
+	cur.AddI(rCtr, rCtr, 1)
+	cur.Jmp(head)
+
+	// Epilogue: store the checksum at a fixed slot.
+	exit.MovI(rAddrA, g.base)
+	exit.St(rAddrA, 0, rSum)
+	exit.Halt()
+}
+
+// CheckAddr returns where the generated program stores its checksum.
+func CheckAddr() int64 { return ir.DataBase }

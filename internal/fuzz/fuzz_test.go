@@ -1,0 +1,147 @@
+package fuzz
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/compiler"
+	"repro/internal/config"
+	"repro/internal/ir"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := ir.Link(Generate(7, Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ir.Link(Generate(7, Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Code) != len(b.Code) {
+		t.Fatal("same seed, different programs")
+	}
+	for i := range a.Code {
+		if a.Code[i] != b.Code[i] {
+			t.Fatalf("instr %d differs", i)
+		}
+	}
+}
+
+func TestGeneratedProgramsTerminate(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		prog := Generate(seed, Config{})
+		res, err := compiler.Compile(prog, compiler.Options{Mode: compiler.ModePlain})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		s := arch.New(arch.NVP, config.Default())
+		r, err := sim.Run(res.Linked, s, sim.Options{MaxInstructions: 50_000_000})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !r.Halted {
+			t.Fatalf("seed %d did not halt", seed)
+		}
+	}
+}
+
+// TestDifferentialAcrossSchemes is the centerpiece: random programs must
+// produce identical final memory images on every scheme, outage-free.
+func TestDifferentialAcrossSchemes(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 5
+	}
+	p := config.Default()
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		var ref int64
+		refSet := false
+		for _, kind := range arch.AllKinds() {
+			prog := Generate(seed, Config{})
+			cres, err := compiler.Compile(prog, compiler.Options{
+				Mode: compiler.Mode(kind.CompilerMode()),
+			})
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, kind, err)
+			}
+			s := arch.New(kind, p)
+			r, err := sim.Run(cres.Linked, s, sim.Options{MaxInstructions: 50_000_000})
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, kind, err)
+			}
+			sum := r.NVM.PeekWord(CheckAddr())
+			if !refSet {
+				ref, refSet = sum, true
+			} else if sum != ref {
+				t.Errorf("seed %d: %v checksum %#x, want %#x", seed, kind, sum, ref)
+			}
+		}
+	}
+}
+
+// TestDifferentialUnderOutages injects power failures into every scheme on
+// random programs and checks the result against the outage-free image —
+// randomized crash-consistency verification end to end.
+func TestDifferentialUnderOutages(t *testing.T) {
+	progSeeds := 12
+	if testing.Short() {
+		progSeeds = 3
+	}
+	p := config.Default()
+	// A small capacitor makes outages frequent even on short programs.
+	p.CapacitorF = 100e-9
+	for seed := int64(100); seed < int64(100+progSeeds); seed++ {
+		golden := runOne(t, seed, arch.NVP, p, nil)
+		want := golden.NVM.PeekWord(CheckAddr())
+		for _, kind := range arch.AllKinds() {
+			for ts := int64(1); ts <= 2; ts++ {
+				r := runOne(t, seed, kind, p, trace.New(trace.RFOffice, ts))
+				got := r.NVM.PeekWord(CheckAddr())
+				if got != want {
+					t.Errorf("seed %d %v trace-seed %d: %#x after %d outages, want %#x",
+						seed, kind, ts, got, r.Outages, want)
+				}
+			}
+		}
+	}
+}
+
+func runOne(t *testing.T, seed int64, kind arch.Kind, p config.Params, src trace.Source) *sim.Result {
+	t.Helper()
+	prog := Generate(seed, Config{})
+	cres, err := compiler.Compile(prog, compiler.Options{Mode: compiler.Mode(kind.CompilerMode())})
+	if err != nil {
+		t.Fatalf("seed %d %v: %v", seed, kind, err)
+	}
+	s := arch.New(kind, p)
+	r, err := sim.Run(cres.Linked, s, sim.Options{MaxInstructions: 100_000_000})
+	if err != nil {
+		t.Fatalf("seed %d %v: %v", seed, kind, err)
+	}
+	return r
+}
+
+// TestCompilerInvariantsOnRandomPrograms: region formation must respect
+// the store threshold on arbitrary CFGs, not just the curated kernels.
+func TestCompilerInvariantsOnRandomPrograms(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		for _, th := range []int{32, 64} {
+			prog := Generate(seed, Config{})
+			res, err := compiler.Compile(prog, compiler.Options{
+				Mode:           compiler.ModeSweep,
+				StoreThreshold: th,
+			})
+			if err != nil {
+				t.Fatalf("seed %d th %d: %v", seed, th, err)
+			}
+			for i, n := range res.Stats.MaxPathStores {
+				if n > th {
+					t.Errorf("seed %d th %d: region %d worst-case %d stores", seed, th, i, n)
+				}
+			}
+		}
+	}
+}

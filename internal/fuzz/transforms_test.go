@@ -1,0 +1,100 @@
+package fuzz
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/compiler"
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+// checksumWith compiles a random program with the given options and runs
+// it on SweepCache outage-free, returning the final checksum.
+func checksumWith(t *testing.T, seed int64, opt compiler.Options) int64 {
+	t.Helper()
+	opt.Mode = compiler.ModeSweep
+	cres, err := compiler.Compile(Generate(seed, Config{}), opt)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	s := arch.New(arch.SweepEmptyBit, config.Default())
+	r, err := sim.Run(cres.Linked, s, sim.Options{MaxInstructions: 100_000_000})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return r.NVM.PeekWord(CheckAddr())
+}
+
+// TestUnrollingSemanticsPreserving: any unroll factor yields the same
+// result — the transformation keeps every exit test, so it must be exact
+// for any trip count.
+func TestUnrollingSemanticsPreserving(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		base := checksumWith(t, seed, compiler.Options{UnrollCap: 1})
+		for _, cap := range []int{2, 4, 8} {
+			if got := checksumWith(t, seed, compiler.Options{UnrollCap: cap}); got != base {
+				t.Errorf("seed %d unroll %d: %#x != %#x", seed, cap, got, base)
+			}
+		}
+	}
+}
+
+// TestThresholdSemanticsPreserving: the store threshold moves boundaries
+// but may never change results.
+func TestThresholdSemanticsPreserving(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		base := checksumWith(t, seed, compiler.Options{StoreThreshold: 64})
+		for _, th := range []int{32, 128, 256} {
+			if got := checksumWith(t, seed, compiler.Options{StoreThreshold: th}); got != base {
+				t.Errorf("seed %d threshold %d: %#x != %#x", seed, th, got, base)
+			}
+		}
+	}
+}
+
+// TestInliningSemanticsPreserving: inlining removes call boundaries but
+// may never change results.
+func TestInliningSemanticsPreserving(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		base := checksumWith(t, seed, compiler.Options{})
+		got := checksumWith(t, seed, compiler.Options{InlineSmallFuncs: true})
+		if got != base {
+			t.Errorf("seed %d inlined: %#x != %#x", seed, got, base)
+		}
+	}
+}
+
+// TestSingleBufferSemanticsPreserving: the Figure 3a ablation changes
+// only timing, never results — even under outages.
+func TestSingleBufferSemanticsPreserving(t *testing.T) {
+	p := config.Default()
+	p.SweepSingleBuffer = true
+	for seed := int64(0); seed < 10; seed++ {
+		cres, err := compiler.Compile(Generate(seed, Config{}), compiler.Options{Mode: compiler.ModeSweep})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := arch.New(arch.SweepEmptyBit, p)
+		r, err := sim.Run(cres.Linked, s, sim.Options{MaxInstructions: 100_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := checksumWith(t, seed, compiler.Options{})
+		if got := r.NVM.PeekWord(CheckAddr()); got != want {
+			t.Errorf("seed %d single-buffer: %#x != %#x", seed, got, want)
+		}
+	}
+}
+
+// TestPeepholeSemanticsPreserving: the dead-code cleanup may never change
+// results on arbitrary programs.
+func TestPeepholeSemanticsPreserving(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		base := checksumWith(t, seed, compiler.Options{DisablePeephole: true})
+		got := checksumWith(t, seed, compiler.Options{})
+		if got != base {
+			t.Errorf("seed %d: peephole changed result %#x != %#x", seed, got, base)
+		}
+	}
+}

@@ -1,0 +1,303 @@
+// Package isa defines the instruction set of the simulated in-order core.
+//
+// The ISA is a small load/store register machine in the spirit of the ARM
+// subset the paper's gem5 setup uses: 16 general-purpose 64-bit registers,
+// two-operand ALU ops with register or immediate second operand, word and
+// byte loads/stores, conditional branches, direct calls, and a handful of
+// architectural helper ops the SweepCache / ReplayCache compilers insert
+// (checkpoint stores, PC saves, region ends, cacheline writebacks, fences).
+//
+// Instructions are represented unencoded as structs; the simulator never
+// needs a binary encoding.
+package isa
+
+import "fmt"
+
+// NumRegs is the number of architectural general-purpose registers.
+// Register 15 doubles as the link register for calls.
+const NumRegs = 16
+
+// LR is the link register, written by Call and read by Ret.
+const LR = 15
+
+// Reg names an architectural register, 0 <= Reg < NumRegs.
+type Reg uint8
+
+func (r Reg) String() string { return fmt.Sprintf("r%d", uint8(r)) }
+
+// Op enumerates instruction opcodes.
+type Op uint8
+
+const (
+	// OpNop does nothing for one cycle.
+	OpNop Op = iota
+
+	// ALU register-register: Dst = Src1 op Src2.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr  // logical right shift
+	OpSar  // arithmetic right shift
+	OpSlt  // set if less-than (signed): Dst = (Src1 < Src2) ? 1 : 0
+	OpSltu // set if less-than (unsigned)
+
+	// ALU register-immediate: Dst = Src1 op Imm.
+	OpAddI
+	OpMulI
+	OpAndI
+	OpOrI
+	OpXorI
+	OpShlI
+	OpShrI
+	OpSarI
+
+	// OpMovI sets Dst = Imm.
+	OpMovI
+	// OpMov sets Dst = Src1.
+	OpMov
+
+	// Memory. Effective address is Src1 + Imm.
+	// OpLd loads a 64-bit word into Dst; OpLdB loads one zero-extended byte.
+	OpLd
+	OpLdB
+	// OpSt stores the 64-bit word in Src2; OpStB stores its low byte.
+	OpSt
+	OpStB
+
+	// Control flow. Branches compare Src1 against Src2 and jump to Target.
+	OpBeq
+	OpBne
+	OpBlt  // signed
+	OpBge  // signed
+	OpBltu // unsigned
+	OpBgeu // unsigned
+	// OpJmp jumps unconditionally to Target.
+	OpJmp
+	// OpCall jumps to Target saving the return PC in LR.
+	OpCall
+	// OpRet jumps to the address in LR.
+	OpRet
+
+	// OpHalt ends the program.
+	OpHalt
+
+	// Architectural helpers inserted by the compilers.
+
+	// OpCkptSt checkpoints register Src2 into its dedicated slot of the
+	// register-checkpoint array in NVM (slot index = register number).
+	// It behaves exactly like a normal store through the memory system.
+	OpCkptSt
+	// OpSavePC stores Imm (the flat PC of the next region's first
+	// instruction) to the fixed recovery-PC slot in NVM. Behaves like a
+	// normal store.
+	OpSavePC
+	// OpRegionEnd marks a region boundary: the architecture flushes all
+	// dirty cachelines to the active persist buffer (s-phase1), schedules
+	// the DMA drain to NVM (s-phase2), and switches to the other buffer.
+	OpRegionEnd
+	// OpClwb writes back (but does not evict) the cacheline containing
+	// Src1 + Imm. Inserted by the ReplayCache compiler after every store.
+	OpClwb
+	// OpFence stalls until all outstanding clwb writebacks are persistent.
+	// Inserted by the ReplayCache compiler at region ends.
+	OpFence
+)
+
+var opNames = [...]string{
+	OpNop: "nop",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpRem: "rem",
+	OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpShl: "shl", OpShr: "shr", OpSar: "sar", OpSlt: "slt", OpSltu: "sltu",
+	OpAddI: "addi", OpMulI: "muli", OpAndI: "andi", OpOrI: "ori", OpXorI: "xori",
+	OpShlI: "shli", OpShrI: "shri", OpSarI: "sari",
+	OpMovI: "movi", OpMov: "mov",
+	OpLd: "ld", OpLdB: "ldb", OpSt: "st", OpStB: "stb",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge", OpBltu: "bltu", OpBgeu: "bgeu",
+	OpJmp: "jmp", OpCall: "call", OpRet: "ret", OpHalt: "halt",
+	OpCkptSt: "ckpt.st", OpSavePC: "save.pc", OpRegionEnd: "region.end",
+	OpClwb: "clwb", OpFence: "fence",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsALURR reports whether o is a register-register ALU op.
+func (o Op) IsALURR() bool { return o >= OpAdd && o <= OpSltu }
+
+// IsALURI reports whether o is a register-immediate ALU op.
+func (o Op) IsALURI() bool { return o >= OpAddI && o <= OpSarI }
+
+// IsLoad reports whether o reads data memory.
+func (o Op) IsLoad() bool { return o == OpLd || o == OpLdB }
+
+// IsStore reports whether o writes data memory, including the compiler
+// helper stores (checkpoint stores and PC saves count against the persist
+// buffer just like program stores).
+func (o Op) IsStore() bool {
+	return o == OpSt || o == OpStB || o == OpCkptSt || o == OpSavePC
+}
+
+// IsBranch reports whether o is a conditional branch.
+func (o Op) IsBranch() bool { return o >= OpBeq && o <= OpBgeu }
+
+// IsTerminator reports whether o ends a basic block.
+func (o Op) IsTerminator() bool {
+	return o.IsBranch() || o == OpJmp || o == OpCall || o == OpRet || o == OpHalt
+}
+
+// Instr is one machine instruction. Fields are used per-opcode as
+// documented on the Op constants; unused fields are zero.
+type Instr struct {
+	Op   Op
+	Dst  Reg
+	Src1 Reg
+	Src2 Reg
+	Imm  int64
+	// Target is the flat-code index for branches, jumps, and calls. The
+	// IR layer fills it in at link time; before linking it holds a block
+	// or function reference private to the IR.
+	Target int32
+}
+
+// Defs returns the register the instruction writes, or -1 if none.
+func (in Instr) Defs() int {
+	switch {
+	case in.Op.IsALURR(), in.Op.IsALURI(),
+		in.Op == OpMovI, in.Op == OpMov,
+		in.Op == OpLd, in.Op == OpLdB:
+		return int(in.Dst)
+	case in.Op == OpCall:
+		return LR
+	}
+	return -1
+}
+
+// Uses appends the registers the instruction reads to buf and returns it.
+func (in Instr) Uses(buf []Reg) []Reg {
+	switch {
+	case in.Op.IsALURR():
+		buf = append(buf, in.Src1, in.Src2)
+	case in.Op.IsALURI(), in.Op == OpMov:
+		buf = append(buf, in.Src1)
+	case in.Op == OpLd, in.Op == OpLdB, in.Op == OpClwb:
+		buf = append(buf, in.Src1)
+	case in.Op == OpSt, in.Op == OpStB:
+		buf = append(buf, in.Src1, in.Src2)
+	case in.Op.IsBranch():
+		buf = append(buf, in.Src1, in.Src2)
+	case in.Op == OpRet:
+		buf = append(buf, LR)
+	case in.Op == OpCkptSt:
+		buf = append(buf, in.Src2)
+	}
+	return buf
+}
+
+func (in Instr) String() string {
+	switch {
+	case in.Op == OpNop || in.Op == OpHalt || in.Op == OpRet ||
+		in.Op == OpFence || in.Op == OpRegionEnd:
+		return in.Op.String()
+	case in.Op.IsALURR():
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Dst, in.Src1, in.Src2)
+	case in.Op.IsALURI():
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Dst, in.Src1, in.Imm)
+	case in.Op == OpMovI:
+		return fmt.Sprintf("movi %s, %d", in.Dst, in.Imm)
+	case in.Op == OpMov:
+		return fmt.Sprintf("mov %s, %s", in.Dst, in.Src1)
+	case in.Op.IsLoad():
+		return fmt.Sprintf("%s %s, [%s+%d]", in.Op, in.Dst, in.Src1, in.Imm)
+	case in.Op == OpSt, in.Op == OpStB:
+		return fmt.Sprintf("%s [%s+%d], %s", in.Op, in.Src1, in.Imm, in.Src2)
+	case in.Op.IsBranch():
+		return fmt.Sprintf("%s %s, %s, @%d", in.Op, in.Src1, in.Src2, in.Target)
+	case in.Op == OpJmp, in.Op == OpCall:
+		return fmt.Sprintf("%s @%d", in.Op, in.Target)
+	case in.Op == OpCkptSt:
+		return fmt.Sprintf("ckpt.st %s", in.Src2)
+	case in.Op == OpSavePC:
+		return fmt.Sprintf("save.pc %d", in.Imm)
+	case in.Op == OpClwb:
+		return fmt.Sprintf("clwb [%s+%d]", in.Src1, in.Imm)
+	}
+	return in.Op.String()
+}
+
+// EvalALU computes the result of a register-register or register-immediate
+// ALU operation. b is Src2's value for RR forms or Imm for RI forms.
+// Division or remainder by zero yields 0, matching the simulator's
+// deliberately total semantics (real hardware would trap; the benchmark
+// kernels never divide by zero, but totality keeps property tests simple).
+func EvalALU(op Op, a, b int64) int64 {
+	switch op {
+	case OpAdd, OpAddI:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul, OpMulI:
+		return a * b
+	case OpDiv:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case OpRem:
+		if b == 0 {
+			return 0
+		}
+		return a % b
+	case OpAnd, OpAndI:
+		return a & b
+	case OpOr, OpOrI:
+		return a | b
+	case OpXor, OpXorI:
+		return a ^ b
+	case OpShl, OpShlI:
+		return a << (uint64(b) & 63)
+	case OpShr, OpShrI:
+		return int64(uint64(a) >> (uint64(b) & 63))
+	case OpSar, OpSarI:
+		return a >> (uint64(b) & 63)
+	case OpSlt:
+		if a < b {
+			return 1
+		}
+		return 0
+	case OpSltu:
+		if uint64(a) < uint64(b) {
+			return 1
+		}
+		return 0
+	}
+	panic("isa: EvalALU called with non-ALU op " + op.String())
+}
+
+// BranchTaken evaluates a conditional branch.
+func BranchTaken(op Op, a, b int64) bool {
+	switch op {
+	case OpBeq:
+		return a == b
+	case OpBne:
+		return a != b
+	case OpBlt:
+		return a < b
+	case OpBge:
+		return a >= b
+	case OpBltu:
+		return uint64(a) < uint64(b)
+	case OpBgeu:
+		return uint64(a) >= uint64(b)
+	}
+	panic("isa: BranchTaken called with non-branch op " + op.String())
+}

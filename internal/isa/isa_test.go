@@ -1,0 +1,209 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpClassification(t *testing.T) {
+	cases := []struct {
+		op                                  Op
+		alurr, aluri, load, store, br, term bool
+	}{
+		{OpAdd, true, false, false, false, false, false},
+		{OpSltu, true, false, false, false, false, false},
+		{OpAddI, false, true, false, false, false, false},
+		{OpSarI, false, true, false, false, false, false},
+		{OpLd, false, false, true, false, false, false},
+		{OpLdB, false, false, true, false, false, false},
+		{OpSt, false, false, false, true, false, false},
+		{OpStB, false, false, false, true, false, false},
+		{OpCkptSt, false, false, false, true, false, false},
+		{OpSavePC, false, false, false, true, false, false},
+		{OpBeq, false, false, false, false, true, true},
+		{OpBgeu, false, false, false, false, true, true},
+		{OpJmp, false, false, false, false, false, true},
+		{OpCall, false, false, false, false, false, true},
+		{OpRet, false, false, false, false, false, true},
+		{OpHalt, false, false, false, false, false, true},
+		{OpRegionEnd, false, false, false, false, false, false},
+		{OpClwb, false, false, false, false, false, false},
+		{OpFence, false, false, false, false, false, false},
+	}
+	for _, c := range cases {
+		if got := c.op.IsALURR(); got != c.alurr {
+			t.Errorf("%v IsALURR=%v", c.op, got)
+		}
+		if got := c.op.IsALURI(); got != c.aluri {
+			t.Errorf("%v IsALURI=%v", c.op, got)
+		}
+		if got := c.op.IsLoad(); got != c.load {
+			t.Errorf("%v IsLoad=%v", c.op, got)
+		}
+		if got := c.op.IsStore(); got != c.store {
+			t.Errorf("%v IsStore=%v", c.op, got)
+		}
+		if got := c.op.IsBranch(); got != c.br {
+			t.Errorf("%v IsBranch=%v", c.op, got)
+		}
+		if got := c.op.IsTerminator(); got != c.term {
+			t.Errorf("%v IsTerminator=%v", c.op, got)
+		}
+	}
+}
+
+func TestEvalALUBasics(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b int64
+		want int64
+	}{
+		{OpAdd, 2, 3, 5},
+		{OpSub, 2, 3, -1},
+		{OpMul, -4, 3, -12},
+		{OpDiv, 7, 2, 3},
+		{OpDiv, 7, 0, 0},
+		{OpRem, 7, 2, 1},
+		{OpRem, 7, 0, 0},
+		{OpAnd, 0b1100, 0b1010, 0b1000},
+		{OpOr, 0b1100, 0b1010, 0b1110},
+		{OpXor, 0b1100, 0b1010, 0b0110},
+		{OpShl, 1, 65, 2},  // shift masked to 6 bits
+		{OpShr, -1, 63, 1}, // logical
+		{OpSar, -8, 2, -2}, // arithmetic
+		{OpSlt, -1, 0, 1},
+		{OpSlt, 1, 0, 0},
+		{OpSltu, -1, 0, 0}, // unsigned: -1 is huge
+		{OpAddI, 10, -3, 7},
+	}
+	for _, c := range cases {
+		if got := EvalALU(c.op, c.a, c.b); got != c.want {
+			t.Errorf("EvalALU(%v, %d, %d) = %d, want %d", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEvalALUPanicsOnNonALU(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-ALU op")
+		}
+	}()
+	EvalALU(OpLd, 1, 2)
+}
+
+func TestBranchTaken(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b int64
+		want bool
+	}{
+		{OpBeq, 5, 5, true},
+		{OpBeq, 5, 6, false},
+		{OpBne, 5, 6, true},
+		{OpBlt, -2, -1, true},
+		{OpBge, -1, -1, true},
+		{OpBltu, -1, 1, false}, // unsigned
+		{OpBgeu, -1, 1, true},
+	}
+	for _, c := range cases {
+		if got := BranchTaken(c.op, c.a, c.b); got != c.want {
+			t.Errorf("BranchTaken(%v, %d, %d) = %v", c.op, c.a, c.b, got)
+		}
+	}
+}
+
+// TestALUProperties checks algebraic identities with testing/quick.
+func TestALUProperties(t *testing.T) {
+	if err := quick.Check(func(a, b int64) bool {
+		return EvalALU(OpAdd, a, b) == EvalALU(OpAdd, b, a) &&
+			EvalALU(OpXor, a, a) == 0 &&
+			EvalALU(OpSub, a, a) == 0 &&
+			EvalALU(OpAnd, a, b) == EvalALU(OpAnd, b, a) &&
+			EvalALU(OpOr, a, 0) == a
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	// slt/sltu agree with direct comparisons.
+	if err := quick.Check(func(a, b int64) bool {
+		slt := EvalALU(OpSlt, a, b) == 1
+		sltu := EvalALU(OpSltu, a, b) == 1
+		return slt == (a < b) && sltu == (uint64(a) < uint64(b))
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	// shifts are total for any shift amount.
+	if err := quick.Check(func(a, s int64) bool {
+		_ = EvalALU(OpShl, a, s)
+		_ = EvalALU(OpShr, a, s)
+		_ = EvalALU(OpSar, a, s)
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefsUses(t *testing.T) {
+	in := Instr{Op: OpAdd, Dst: 3, Src1: 1, Src2: 2}
+	if in.Defs() != 3 {
+		t.Errorf("Defs = %d", in.Defs())
+	}
+	uses := in.Uses(nil)
+	if len(uses) != 2 || uses[0] != 1 || uses[1] != 2 {
+		t.Errorf("Uses = %v", uses)
+	}
+
+	st := Instr{Op: OpSt, Src1: 4, Src2: 5}
+	if st.Defs() != -1 {
+		t.Errorf("store Defs = %d", st.Defs())
+	}
+	uses = st.Uses(nil)
+	if len(uses) != 2 {
+		t.Errorf("store Uses = %v", uses)
+	}
+
+	call := Instr{Op: OpCall}
+	if call.Defs() != LR {
+		t.Errorf("call Defs = %d, want LR", call.Defs())
+	}
+	ret := Instr{Op: OpRet}
+	uses = ret.Uses(nil)
+	if len(uses) != 1 || uses[0] != LR {
+		t.Errorf("ret Uses = %v", uses)
+	}
+	ck := Instr{Op: OpCkptSt, Src2: 7}
+	uses = ck.Uses(nil)
+	if len(uses) != 1 || uses[0] != 7 {
+		t.Errorf("ckpt Uses = %v", uses)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpAdd, Dst: 1, Src1: 2, Src2: 3}, "add r1, r2, r3"},
+		{Instr{Op: OpAddI, Dst: 1, Src1: 2, Imm: -5}, "addi r1, r2, -5"},
+		{Instr{Op: OpLd, Dst: 1, Src1: 2, Imm: 8}, "ld r1, [r2+8]"},
+		{Instr{Op: OpSt, Src1: 2, Imm: 8, Src2: 3}, "st [r2+8], r3"},
+		{Instr{Op: OpHalt}, "halt"},
+		{Instr{Op: OpCkptSt, Src2: 4}, "ckpt.st r4"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestShiftMaskBoundary(t *testing.T) {
+	// 1<<64 would overflow; masked to 0 -> identity.
+	if got := EvalALU(OpShl, 1, 64); got != 1 {
+		t.Errorf("shl by 64 = %d", got)
+	}
+	if got := EvalALU(OpShr, math.MinInt64, 63); got != 1 {
+		t.Errorf("shr MinInt64 by 63 = %d", got)
+	}
+}

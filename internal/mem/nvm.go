@@ -1,0 +1,175 @@
+// Package mem models the byte-addressable nonvolatile main memory (NVM).
+//
+// The model is functional — real bytes are stored, so the simulator can
+// verify crash consistency — and instrumented: every access is counted so
+// experiments can report NVM write amplification (Figure 16). Latency and
+// energy are charged by the caller from its parameter set; this package
+// only stores data and counts traffic.
+package mem
+
+import "fmt"
+
+// LineSize is the cacheline (and persist-buffer entry) granularity in
+// bytes, fixed at 64 as in the paper.
+const LineSize = 64
+
+// LineAddr returns the line-aligned base of addr.
+func LineAddr(addr int64) int64 { return addr &^ (LineSize - 1) }
+
+const pageSize = 1 << 16
+
+// NVM is a sparse byte-addressable nonvolatile memory.
+type NVM struct {
+	pages map[int64]*[pageSize]byte
+	size  int64
+
+	// Traffic counters. Reads/Writes count word- or byte-granular
+	// accesses; LineReads/LineWrites count 64-byte transfers (cache
+	// fills, writebacks, buffer traffic).
+	Reads      uint64
+	Writes     uint64
+	LineReads  uint64
+	LineWrites uint64
+}
+
+// New returns an NVM of the given byte capacity.
+func New(size int64) *NVM {
+	return &NVM{pages: map[int64]*[pageSize]byte{}, size: size}
+}
+
+// Size returns the configured capacity in bytes.
+func (m *NVM) Size() int64 { return m.size }
+
+func (m *NVM) page(addr int64) *[pageSize]byte {
+	if addr < 0 || addr >= m.size {
+		panic(fmt.Sprintf("mem: address %#x out of range [0,%#x)", addr, m.size))
+	}
+	base := addr &^ (pageSize - 1)
+	p := m.pages[base]
+	if p == nil {
+		p = new([pageSize]byte)
+		m.pages[base] = p
+	}
+	return p
+}
+
+// peekByte reads without counting traffic.
+func (m *NVM) peekByte(addr int64) byte {
+	return m.page(addr)[addr&(pageSize-1)]
+}
+
+func (m *NVM) pokeByte(addr int64, v byte) {
+	m.page(addr)[addr&(pageSize-1)] = v
+}
+
+// PeekWord reads a little-endian 64-bit word without counting traffic;
+// used by recovery protocols, initialization, and tests.
+func (m *NVM) PeekWord(addr int64) int64 {
+	var v uint64
+	for i := int64(0); i < 8; i++ {
+		v |= uint64(m.peekByte(addr+i)) << (8 * i)
+	}
+	return int64(v)
+}
+
+// PokeWord writes a word without counting traffic.
+func (m *NVM) PokeWord(addr, val int64) {
+	for i := int64(0); i < 8; i++ {
+		m.pokeByte(addr+i, byte(uint64(val)>>(8*i)))
+	}
+}
+
+// PokeByte writes a byte without counting traffic.
+func (m *NVM) PokeByte(addr int64, v byte) { m.pokeByte(addr, v) }
+
+// ReadWord performs a counted 64-bit read.
+func (m *NVM) ReadWord(addr int64) int64 {
+	m.Reads++
+	return m.PeekWord(addr)
+}
+
+// WriteWord performs a counted 64-bit write.
+func (m *NVM) WriteWord(addr, val int64) {
+	m.Writes++
+	m.PokeWord(addr, val)
+}
+
+// ReadByte performs a counted byte read.
+func (m *NVM) ReadByteAt(addr int64) byte {
+	m.Reads++
+	return m.peekByte(addr)
+}
+
+// WriteByte performs a counted byte write.
+func (m *NVM) WriteByteAt(addr int64, v byte) {
+	m.Writes++
+	m.pokeByte(addr, v)
+}
+
+// ReadLine copies the 64-byte line at the line-aligned addr into dst,
+// counting one line read.
+func (m *NVM) ReadLine(addr int64, dst *[LineSize]byte) {
+	m.LineReads++
+	for i := int64(0); i < LineSize; i++ {
+		dst[i] = m.peekByte(addr + i)
+	}
+}
+
+// PokeLine writes a 64-byte line without counting traffic (used for
+// rename-commit mapping switches and test setup).
+func (m *NVM) PokeLine(addr int64, src *[LineSize]byte) {
+	for i := int64(0); i < LineSize; i++ {
+		m.pokeByte(addr+i, src[i])
+	}
+}
+
+// WriteLine writes a 64-byte line, counting one line write.
+func (m *NVM) WriteLine(addr int64, src *[LineSize]byte) {
+	m.LineWrites++
+	for i := int64(0); i < LineSize; i++ {
+		m.pokeByte(addr+i, src[i])
+	}
+}
+
+// ResetCounters zeroes the traffic counters, keeping contents.
+func (m *NVM) ResetCounters() {
+	m.Reads, m.Writes, m.LineReads, m.LineWrites = 0, 0, 0, 0
+}
+
+// Equal reports whether the contents of m and o are byte-identical over
+// [0, max(sizes)); used by crash-consistency tests.
+func (m *NVM) Equal(o *NVM) bool {
+	return m.FirstDiff(o) < 0
+}
+
+// FirstDiff returns the lowest address at which m and o differ, or -1.
+func (m *NVM) FirstDiff(o *NVM) int64 {
+	seen := map[int64]bool{}
+	for base := range m.pages {
+		seen[base] = true
+	}
+	for base := range o.pages {
+		seen[base] = true
+	}
+	first := int64(-1)
+	for base := range seen {
+		a, b := m.pages[base], o.pages[base]
+		for i := 0; i < pageSize; i++ {
+			var av, bv byte
+			if a != nil {
+				av = a[i]
+			}
+			if b != nil {
+				bv = b[i]
+			}
+			if av != bv {
+				addr := base + int64(i)
+				if first < 0 || addr < first {
+					first = addr
+				}
+				break
+			}
+		}
+	}
+	return first
+}

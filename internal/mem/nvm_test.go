@@ -1,0 +1,115 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWordRoundTrip(t *testing.T) {
+	m := New(1 << 20)
+	m.WriteWord(128, -123456789)
+	if got := m.ReadWord(128); got != -123456789 {
+		t.Errorf("got %d", got)
+	}
+	if m.Reads != 1 || m.Writes != 1 {
+		t.Errorf("counters: %d reads %d writes", m.Reads, m.Writes)
+	}
+}
+
+func TestByteAndWordConsistency(t *testing.T) {
+	m := New(1 << 20)
+	m.PokeWord(64, 0x0102030405060708)
+	// Little-endian layout.
+	if m.ReadByteAt(64) != 0x08 || m.ReadByteAt(71) != 0x01 {
+		t.Error("little-endian byte layout")
+	}
+	m.WriteByteAt(64, 0xFF)
+	if got := m.PeekWord(64); got != 0x01020304050607FF {
+		t.Errorf("after byte write: %#x", got)
+	}
+}
+
+func TestPeekPokeDoNotCount(t *testing.T) {
+	m := New(1 << 20)
+	m.PokeWord(0, 1)
+	_ = m.PeekWord(0)
+	m.PokeByte(9, 2)
+	var line [LineSize]byte
+	m.PokeLine(128, &line)
+	if m.Reads != 0 || m.Writes != 0 || m.LineWrites != 0 {
+		t.Error("peek/poke counted traffic")
+	}
+}
+
+func TestLineOps(t *testing.T) {
+	m := New(1 << 20)
+	var src [LineSize]byte
+	for i := range src {
+		src[i] = byte(i)
+	}
+	m.WriteLine(192, &src)
+	var dst [LineSize]byte
+	m.ReadLine(192, &dst)
+	if dst != src {
+		t.Error("line round trip")
+	}
+	if m.LineReads != 1 || m.LineWrites != 1 {
+		t.Error("line counters")
+	}
+	if m.PeekWord(192) != 0x0706050403020100 {
+		t.Errorf("line/word aliasing: %#x", m.PeekWord(192))
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	if LineAddr(0) != 0 || LineAddr(63) != 0 || LineAddr(64) != 64 || LineAddr(129) != 128 {
+		t.Error("line alignment")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := New(4096)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	m.PokeWord(1<<40, 1)
+}
+
+func TestEqualAndFirstDiff(t *testing.T) {
+	a, b := New(1<<20), New(1<<20)
+	if !a.Equal(b) {
+		t.Error("fresh NVMs differ")
+	}
+	a.PokeWord(70000, 5)
+	b.PokeWord(70000, 5)
+	if !a.Equal(b) {
+		t.Error("identical contents differ")
+	}
+	b.PokeByte(70001, 9)
+	if a.Equal(b) {
+		t.Error("differing contents equal")
+	}
+	if d := a.FirstDiff(b); d != 70001 {
+		t.Errorf("first diff = %d", d)
+	}
+	// Page allocated on one side but zero-filled equals unallocated.
+	c := New(1 << 20)
+	d := New(1 << 20)
+	c.PokeWord(100000, 0)
+	if !c.Equal(d) {
+		t.Error("zero-write created a phantom difference")
+	}
+}
+
+func TestWordRoundTripProperty(t *testing.T) {
+	m := New(1 << 22)
+	if err := quick.Check(func(addr uint32, v int64) bool {
+		a := int64(addr) % (1<<22 - 8)
+		m.PokeWord(a, v)
+		return m.PeekWord(a) == v
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

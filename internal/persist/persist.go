@@ -1,0 +1,160 @@
+// Package persist models SweepCache's NVM-resident persist buffers
+// (Sections 3.2–3.4, 4.2, 4.4–4.6): dual FIFO redo buffers with
+// phase1Complete/phase2Complete bits, per-buffer empty-bits, and the
+// write-back-instructive (WBI) bit tables.
+//
+// A buffer's life cycle per region:
+//
+//	Claim (region start) -> Append (t-phase1 evictions) ->
+//	Seal (region end: s-phase1 flush entries added, phase windows fixed) ->
+//	Retire (s-phase2 DMA done: entries applied to NVM, buffer empty)
+//
+// Phase completion is tracked as simulation timestamps; the persistent
+// phase bits of the paper correspond to comparing those timestamps against
+// the moment of power failure. Data is captured into entries at the time
+// they are appended (the WAW rule of Section 4.3 guarantees the flushed
+// lines cannot be modified while s-phase1 is conceptually in flight, so
+// capture-at-boundary is behaviourally identical).
+package persist
+
+import (
+	"repro/internal/mem"
+)
+
+// Entry is one buffer slot: a line-aligned address plus 64 bytes of data.
+type Entry struct {
+	Addr int64
+	Data [mem.LineSize]byte
+}
+
+// Buffer is one FIFO persist buffer.
+type Buffer struct {
+	Entries []Entry
+	// Sealed is set at the region end that closes this buffer.
+	Sealed bool
+	// Retired is set once the s-phase2 DMA has been applied to NVM.
+	Retired bool
+	// Phase1End / Phase2End are the simulation times at which s-phase1
+	// (dirty-line flush into the buffer) and s-phase2 (DMA into NVM)
+	// complete. Valid once Sealed.
+	Phase1End int64
+	Phase2End int64
+	// Region is the sequence number of the region that filled the buffer.
+	Region uint64
+
+	cap int
+}
+
+// NewBuffer returns an empty buffer with the given entry capacity (the
+// store threshold, Section 4.5).
+func NewBuffer(capacity int) *Buffer {
+	return &Buffer{cap: capacity}
+}
+
+// Cap returns the entry capacity.
+func (b *Buffer) Cap() int { return b.cap }
+
+// Empty reports the state of the buffer's empty-bit (Section 4.4).
+func (b *Buffer) Empty() bool { return len(b.Entries) == 0 }
+
+// Claim readies the buffer for a new region. It panics if the previous
+// occupant has not retired — the structural hazard the scheme must avoid
+// by stalling (Section 3.3).
+func (b *Buffer) Claim(region uint64) {
+	if len(b.Entries) > 0 && !b.Retired {
+		panic("persist: claiming an unretired buffer")
+	}
+	b.Entries = b.Entries[:0]
+	b.Sealed = false
+	b.Retired = false
+	b.Phase1End = 0
+	b.Phase2End = 0
+	b.Region = region
+}
+
+// Append quarantines one evicted dirty line (t-phase1). The FIFO may hold
+// multiple entries for the same line; the youngest wins on search and on
+// drain. Appending beyond capacity panics: the compiler's store threshold
+// must make overflow impossible, and the property tests rely on that.
+func (b *Buffer) Append(addr int64, data *[mem.LineSize]byte) {
+	if b.Sealed {
+		panic("persist: append to sealed buffer")
+	}
+	if len(b.Entries) >= b.cap {
+		panic("persist: buffer overflow — compiler store threshold violated")
+	}
+	b.Entries = append(b.Entries, Entry{Addr: mem.LineAddr(addr), Data: *data})
+}
+
+// Seal closes the buffer at a region end, appending the s-phase1 flush
+// set and fixing the phase windows. now is the region-end time;
+// perLine1/perLine2 are the per-line costs of the flush and of the DMA
+// drain; phase2Floor is the earliest moment s-phase2 may begin (the prior
+// buffer's Phase2End — SweepCache keeps s-phase2 ordering sequential,
+// Section 3.3 footnote).
+func (b *Buffer) Seal(now int64, flush []Entry, perLine1, perLine2, phase2Floor int64) {
+	if b.Sealed {
+		panic("persist: double seal")
+	}
+	for i := range flush {
+		if len(b.Entries) >= b.cap {
+			panic("persist: buffer overflow at seal — store threshold violated")
+		}
+		b.Entries = append(b.Entries, flush[i])
+	}
+	b.Sealed = true
+	b.Phase1End = now + int64(len(flush))*perLine1
+	start := b.Phase1End
+	if phase2Floor > start {
+		start = phase2Floor
+	}
+	b.Phase2End = start + int64(len(b.Entries))*perLine2
+}
+
+// Phase1CompleteAt reports the phase1Complete bit as of time t.
+func (b *Buffer) Phase1CompleteAt(t int64) bool {
+	return b.Sealed && t >= b.Phase1End
+}
+
+// Phase2CompleteAt reports the phase2Complete bit as of time t.
+func (b *Buffer) Phase2CompleteAt(t int64) bool {
+	return b.Sealed && t >= b.Phase2End
+}
+
+// Find returns the youngest entry for addr's line, or nil. The caller
+// accounts search latency (sequential, NVM-resident — Section 4.4).
+func (b *Buffer) Find(addr int64) *Entry {
+	la := mem.LineAddr(addr)
+	for i := len(b.Entries) - 1; i >= 0; i-- {
+		if b.Entries[i].Addr == la {
+			return &b.Entries[i]
+		}
+	}
+	return nil
+}
+
+// Drain applies the FIFO to NVM oldest-first, so a younger duplicate
+// overwrites an older one (Section 3.2 footnote 4), then marks the buffer
+// retired and empty. Drain is idempotent with respect to NVM contents,
+// which is exactly why the (1,0) recovery case may simply redo it.
+func (b *Buffer) Drain(nvm *mem.NVM) {
+	for i := range b.Entries {
+		nvm.WriteLine(b.Entries[i].Addr, &b.Entries[i].Data)
+	}
+	b.Entries = b.Entries[:0]
+	b.Retired = true
+}
+
+// Discard empties the buffer without touching NVM — the (0,0) recovery
+// case for a power-interrupted region.
+func (b *Buffer) Discard() {
+	b.Entries = b.Entries[:0]
+	b.Sealed = false
+	b.Retired = true
+}
+
+// Len returns the current entry count.
+func (b *Buffer) Len() int { return len(b.Entries) }
+
+// EntryAt returns the i-th entry (0 = oldest).
+func (b *Buffer) EntryAt(i int) *Entry { return &b.Entries[i] }

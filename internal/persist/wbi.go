@@ -1,0 +1,55 @@
+package persist
+
+import "math/bits"
+
+// WBITable is the write-back-instructive table (Section 4.6): one SRAM bit
+// per cacheline, set when a store dirties the line during the current
+// region, so the region-end flush can enumerate dirty lines without
+// scanning the whole cache. SweepCache deploys two, one per persist
+// buffer, to avoid structural hazards between adjacent regions.
+type WBITable struct {
+	bits []uint64
+	n    int
+}
+
+// NewWBITable returns a table covering numLines cachelines.
+func NewWBITable(numLines int) *WBITable {
+	return &WBITable{bits: make([]uint64, (numLines+63)/64), n: numLines}
+}
+
+// Set marks cacheline slot dirty in this region.
+func (t *WBITable) Set(slot int) { t.bits[slot/64] |= 1 << (slot % 64) }
+
+// Get reports whether slot is marked.
+func (t *WBITable) Get(slot int) bool { return t.bits[slot/64]&(1<<(slot%64)) != 0 }
+
+// ClearBit unmarks slot (its line was evicted mid-region and is already
+// quarantined in the persist buffer).
+func (t *WBITable) ClearBit(slot int) { t.bits[slot/64] &^= 1 << (slot % 64) }
+
+// Clear resets the table for the next region.
+func (t *WBITable) Clear() {
+	for i := range t.bits {
+		t.bits[i] = 0
+	}
+}
+
+// Count returns the number of marked lines.
+func (t *WBITable) Count() int {
+	n := 0
+	for _, w := range t.bits {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// SizeBits returns the table's SRAM cost in bits (Section 6.9).
+func (t *WBITable) SizeBits() int { return t.n }
+
+// HardwareCostBits returns SweepCache's total extra state in bits beyond
+// the two persist buffers for a cache of numLines lines: two empty-bits,
+// four phaseComplete bits, and two WBI tables (Section 6.9 — 134 bits for
+// a 4 kB cache with 64 B lines).
+func HardwareCostBits(numLines int) int {
+	return 2 + 4 + 2*numLines
+}

@@ -1,0 +1,303 @@
+// Package sim is the simulation engine: it couples the in-order core and a
+// scheme's memory hierarchy to the capacitor and power trace, injects power
+// failures at the exact instants the energy model dictates, drives each
+// scheme's backup/recovery protocol, and collects the statistics every
+// experiment consumes.
+//
+// The engine checks the voltage before every instruction. JIT-checkpoint
+// schemes trip a backup when V falls to VBackup (after the monitor's
+// propagation delay) and then sleep until VRestore; SweepCache executes
+// down to Vmin and loses all volatile state. Recharge periods fast-forward
+// through the power trace. Energy accounting is ledger-delta based: scheme
+// operations attribute energy to the shared ledger, and the engine draws
+// exactly the per-step ledger delta from the capacitor, so no joule is
+// counted twice.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"repro/internal/arch"
+	"repro/internal/cpu"
+	"repro/internal/energy"
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Options configures one run.
+type Options struct {
+	// Source is the power trace; nil runs outage-free with an ideal
+	// supply (the Figure 5 configuration).
+	Source trace.Source
+	// MaxInstructions aborts runaway executions. 0 means 2e9.
+	MaxInstructions uint64
+	// StagnationNs bounds one recharge wait. 0 means 60 s.
+	StagnationNs int64
+	// RegionHistMax bounds the region-size histogram. 0 means 256.
+	RegionHistMax int
+}
+
+// Result is everything measured during a run.
+type Result struct {
+	Scheme string
+	Halted bool
+
+	TimeNs    int64 // wall-clock: execution + backup/restore + recharge
+	RunNs     int64 // execution time only
+	ChargeNs  int64 // powered-off recharge time
+	RestoreNs int64 // time spent inside scheme restore work (excl. recharge)
+	Outages   uint64
+
+	Counts cpu.Counts
+	Ledger energy.Ledger
+	Arch   arch.Stats
+
+	CacheHits      uint64
+	CacheMisses    uint64
+	DirtyEvictions uint64
+
+	NVMReads      uint64
+	NVMWrites     uint64
+	NVMLineReads  uint64
+	NVMLineWrites uint64
+
+	// RegionSizes samples dynamic instructions per region (Figure 12a);
+	// populated for sweep- and replay-compiled binaries.
+	RegionSizes *stats.Hist
+
+	// NVM is the final memory image, for differential consistency checks.
+	NVM *mem.NVM
+}
+
+// MissRate returns the L1D miss rate of the run.
+func (r *Result) MissRate() float64 {
+	tot := r.CacheHits + r.CacheMisses
+	if tot == 0 {
+		return 0
+	}
+	return float64(r.CacheMisses) / float64(tot)
+}
+
+// ParallelismEfficiency returns Section 6.3's (Tp-Twait)/Tp.
+func (r *Result) ParallelismEfficiency() float64 {
+	if r.Arch.TpNs == 0 {
+		return 1
+	}
+	return float64(r.Arch.TpNs-r.Arch.TwaitNs) / float64(r.Arch.TpNs)
+}
+
+// debugOutages, enabled by setting the SIM_DEBUG environment variable,
+// prints one line per power cycle (failure point, restored PC, voltage) —
+// the quickest way to see a recovery protocol misbehaving.
+var debugOutages = os.Getenv("SIM_DEBUG") != ""
+
+// ErrStagnation reports a power source too weak to ever recharge the
+// capacitor to the restore threshold.
+var ErrStagnation = errors.New("sim: stagnation — power source cannot recharge the capacitor")
+
+// InitNVM loads the program's data image and recovery PC slot into the
+// scheme's NVM.
+func InitNVM(s arch.Scheme, l *ir.Linked) {
+	nvm := s.NVM()
+	for _, di := range l.Prog.Inits {
+		if di.Byte {
+			nvm.PokeByte(di.Addr, byte(di.Val))
+		} else {
+			nvm.PokeWord(di.Addr, di.Val)
+		}
+	}
+	nvm.PokeWord(ir.PCSlotAddr, int64(l.EntryPC))
+}
+
+// Run executes the linked program on the scheme until it halts.
+func Run(l *ir.Linked, s arch.Scheme, opt Options) (*Result, error) {
+	p := s.Params()
+	if opt.MaxInstructions == 0 {
+		opt.MaxInstructions = 2_000_000_000
+	}
+	if opt.StagnationNs == 0 {
+		opt.StagnationNs = 60_000_000_000
+	}
+	if opt.RegionHistMax == 0 {
+		opt.RegionHistMax = 256
+	}
+
+	InitNVM(s, l)
+	core := cpu.New(l.Code, int64(l.EntryPC))
+	s.Boot(int64(l.EntryPC))
+	led := s.Ledger()
+	timing := cpu.StepTiming{CycleNs: p.CycleNs, MulCycles: p.MulCycles, DivCycles: p.DivCycles}
+
+	res := &Result{Scheme: s.Name(), RegionSizes: stats.NewHist(opt.RegionHistMax)}
+
+	cap := energy.NewCapacitor(p.CapacitorF, p.Vmax, p.Vmax)
+	var cursor *trace.Cursor
+	if opt.Source != nil {
+		cursor = trace.NewCursor(opt.Source)
+	}
+
+	now := int64(0)
+	armed := true
+	regionInstrs := 0
+	// Forward-progress guard: a configuration whose per-cycle energy
+	// window cannot cover even one instruction (plus its own restore
+	// draw) would power-cycle forever.
+	lastOutageExec := uint64(0)
+	zeroProgress := 0
+
+	// drawRun charges the capacitor with harvest and drains run power
+	// over an interval where the core is on but not retiring
+	// instructions (backup, restore, detection delays).
+	drawRun := func(dt int64) {
+		if dt <= 0 {
+			return
+		}
+		sec := float64(dt) * 1e-9
+		led.Compute += p.PRun * sec
+		if cursor != nil {
+			cap.Add(cursor.Harvest(dt))
+		}
+		cap.Draw(p.PRun * sec)
+		now += dt
+		res.RunNs += dt
+	}
+
+	// powerCycle sleeps through a recharge and restores the scheme.
+	powerCycle := func() error {
+		if core.Counts.Executed == lastOutageExec {
+			zeroProgress++
+			if zeroProgress > 256 {
+				return fmt.Errorf("sim: no forward progress on %s — energy window too small for its backup/restore costs", s.Name())
+			}
+		} else {
+			zeroProgress = 0
+		}
+		lastOutageExec = core.Counts.Executed
+		if debugOutages {
+			fmt.Printf("OUTAGE %d at now=%d pc=%d executed=%d V=%.3f r0=%d\n", res.Outages, now, core.PC, core.Counts.Executed, cap.V(), core.Regs[0])
+		}
+		res.Outages++
+		s.PowerFail(now)
+		elapsed, ok := cursor.ChargeUntil(cap, p.VRestore, p.PSleep, opt.StagnationNs, led)
+		now += elapsed
+		res.ChargeNs += elapsed
+		if !ok {
+			return fmt.Errorf("%w (scheme %s, %.1f ms waited)", ErrStagnation, s.Name(), float64(elapsed)/1e6)
+		}
+		// Restore propagation delay (T_plh) at sleep draw.
+		sec := float64(p.RestoreDelayNs) * 1e-9
+		led.Sleep += p.PSleep * sec
+		cap.Draw(p.PSleep * sec)
+		cap.Add(cursor.Harvest(p.RestoreDelayNs))
+		now += p.RestoreDelayNs
+		res.ChargeNs += p.RestoreDelayNs
+
+		before := led.Total()
+		pc, rcost := s.Restore(now, &core.Regs)
+		if debugOutages {
+			fmt.Printf("  RESTORE -> pc=%d V=%.3f r0=%d r13=%d\n", pc, cap.V(), core.Regs[0], core.Regs[13])
+		}
+		core.PC = pc
+		cap.Draw(led.Total() - before)
+		drawRun(rcost.Ns)
+		res.RestoreNs += rcost.Ns
+		// The restoration itself was fed while still tethered to the
+		// charging path: top the capacitor back up to the restore
+		// threshold before execution resumes, so arbitrarily expensive
+		// restores lengthen the charge instead of eating the run window.
+		if cap.V() < p.VRestore {
+			elapsed, ok := cursor.ChargeUntil(cap, p.VRestore, p.PSleep, opt.StagnationNs, led)
+			now += elapsed
+			res.ChargeNs += elapsed
+			if !ok {
+				return fmt.Errorf("%w (scheme %s, restore top-up)", ErrStagnation, s.Name())
+			}
+		}
+		regionInstrs = 0
+		armed = true
+		return nil
+	}
+
+	for !core.Halted {
+		if core.Counts.Executed >= opt.MaxInstructions {
+			return res, fmt.Errorf("sim: instruction budget (%d) exceeded on %s", opt.MaxInstructions, s.Name())
+		}
+		if cursor != nil {
+			// Structural backup request (NvMR rename-table full).
+			if s.JIT() && s.NeedsBackup() {
+				before := led.Total()
+				bcost := s.Backup(now, &core.Regs, core.PC)
+				cap.Draw(led.Total() - before)
+				drawRun(bcost.Ns)
+			}
+			// Voltage-triggered JIT backup.
+			if s.JIT() && armed && cap.V() <= p.VBackup {
+				drawRun(p.BackupDelayNs) // T_phl detection delay
+				before := led.Total()
+				bcost := s.Backup(now, &core.Regs, core.PC)
+				cap.Draw(led.Total() - before)
+				drawRun(bcost.Ns)
+				armed = false
+				if !s.ContinuesAfterBackup() {
+					if err := powerCycle(); err != nil {
+						return res, err
+					}
+					continue
+				}
+			}
+			// Hard brown-out: SweepCache by design, NvMR while
+			// speculating past its backup.
+			if cap.V() < p.Vmin {
+				if err := powerCycle(); err != nil {
+					return res, err
+				}
+				continue
+			}
+			// Re-arm once the source lifts the voltage back up
+			// (NvMR keeps executing through this window).
+			if s.JIT() && !armed && cap.V() > p.VBackup+0.02 {
+				armed = true
+			}
+		}
+
+		op := l.Code[core.PC].Op
+		before := led.Total()
+		st := core.Step(now, s, timing)
+		led.Compute += p.EInstr + p.PRun*float64(st.Ns)*1e-9
+		if cursor != nil {
+			cap.Add(cursor.Harvest(st.Ns))
+		}
+		cap.Draw(led.Total() - before)
+		now += st.Ns
+		res.RunNs += st.Ns
+
+		if op == isa.OpRegionEnd || op == isa.OpFence {
+			res.RegionSizes.Add(regionInstrs)
+			regionInstrs = 0
+		} else {
+			regionInstrs++
+		}
+	}
+
+	s.Sync(now + 1<<40) // settle all background persistence
+	s.Finalize()        // drain volatile leftovers so the NVM image is observable
+
+	res.Halted = true
+	res.TimeNs = now
+	res.Counts = core.Counts
+	res.Ledger = *led
+	res.Arch = *s.Stats()
+	if c := s.Cache(); c != nil {
+		res.CacheHits, res.CacheMisses, res.DirtyEvictions = c.Hits, c.Misses, c.DirtyEvictions
+	}
+	nvm := s.NVM()
+	res.NVMReads, res.NVMWrites = nvm.Reads, nvm.Writes
+	res.NVMLineReads, res.NVMLineWrites = nvm.LineReads, nvm.LineWrites
+	res.NVM = nvm
+	return res, nil
+}

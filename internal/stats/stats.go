@@ -1,0 +1,96 @@
+// Package stats provides the small statistical utilities the experiments
+// need: integer histograms (for the Figure 12 CDFs), geometric means (the
+// paper's aggregate for speedups), and quantiles.
+package stats
+
+import "math"
+
+// Hist is a histogram over small non-negative integers.
+type Hist struct {
+	Buckets  []uint64 // Buckets[i] counts samples equal to i
+	Overflow uint64   // samples >= len(Buckets)
+	N        uint64
+	Sum      float64
+}
+
+// NewHist returns a histogram covering values [0, max].
+func NewHist(max int) *Hist {
+	return &Hist{Buckets: make([]uint64, max+1)}
+}
+
+// Add records one sample.
+func (h *Hist) Add(v int) {
+	h.N++
+	h.Sum += float64(v)
+	if v < 0 {
+		v = 0
+	}
+	if v < len(h.Buckets) {
+		h.Buckets[v]++
+	} else {
+		h.Overflow++
+	}
+}
+
+// Mean returns the sample mean, or 0 with no samples.
+func (h *Hist) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.N)
+}
+
+// CDF returns the cumulative fraction of samples <= i for each bucket i.
+func (h *Hist) CDF() []float64 {
+	out := make([]float64, len(h.Buckets))
+	if h.N == 0 {
+		return out
+	}
+	var acc uint64
+	for i, c := range h.Buckets {
+		acc += c
+		out[i] = float64(acc) / float64(h.N)
+	}
+	return out
+}
+
+// Quantile returns the smallest value v with CDF(v) >= q; Overflow samples
+// map to len(Buckets).
+func (h *Hist) Quantile(q float64) int {
+	if h.N == 0 {
+		return 0
+	}
+	target := q * float64(h.N)
+	var acc float64
+	for i, c := range h.Buckets {
+		acc += float64(c)
+		if acc >= target {
+			return i
+		}
+	}
+	return len(h.Buckets)
+}
+
+// Merge adds o's samples into h. The histograms must have equal bucket
+// counts.
+func (h *Hist) Merge(o *Hist) {
+	for i, c := range o.Buckets {
+		h.Buckets[i] += c
+	}
+	h.Overflow += o.Overflow
+	h.N += o.N
+	h.Sum += o.Sum
+}
+
+// Geomean returns the geometric mean of xs (which must be positive), or 0
+// for an empty slice.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistBasics(t *testing.T) {
+	h := NewHist(10)
+	for _, v := range []int{0, 1, 1, 5, 10, 12, -3} {
+		h.Add(v)
+	}
+	if h.N != 7 {
+		t.Errorf("N = %d", h.N)
+	}
+	if h.Buckets[1] != 2 || h.Buckets[0] != 2 { // -3 clamps to 0
+		t.Errorf("buckets: %v", h.Buckets)
+	}
+	if h.Overflow != 1 {
+		t.Errorf("overflow = %d", h.Overflow)
+	}
+	wantMean := (0.0 + 1 + 1 + 5 + 10 + 12 - 3) / 7
+	if math.Abs(h.Mean()-wantMean) > 1e-9 {
+		t.Errorf("mean = %f", h.Mean())
+	}
+}
+
+func TestHistCDFMonotone(t *testing.T) {
+	h := NewHist(20)
+	for i := 0; i < 100; i++ {
+		h.Add(i % 21)
+	}
+	cdf := h.CDF()
+	prev := 0.0
+	for i, v := range cdf {
+		if v < prev {
+			t.Fatalf("CDF not monotone at %d", i)
+		}
+		prev = v
+	}
+	if math.Abs(cdf[len(cdf)-1]-1.0) > 1e-9 {
+		t.Errorf("CDF end = %f", cdf[len(cdf)-1])
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	h := NewHist(100)
+	for i := 1; i <= 100; i++ {
+		h.Add(i)
+	}
+	if q := h.Quantile(0.5); q != 50 {
+		t.Errorf("p50 = %d", q)
+	}
+	if q := h.Quantile(0.99); q != 99 {
+		t.Errorf("p99 = %d", q)
+	}
+	empty := NewHist(4)
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty quantile")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewHist(4), NewHist(4)
+	a.Add(1)
+	b.Add(2)
+	b.Add(9)
+	a.Merge(b)
+	if a.N != 3 || a.Buckets[2] != 1 || a.Overflow != 1 {
+		t.Errorf("merge: %+v", a)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("geomean(2,8) = %f", g)
+	}
+	if Geomean(nil) != 0 {
+		t.Error("empty geomean")
+	}
+	// Geomean is scale-multiplicative.
+	if err := quick.Check(func(a, b uint8) bool {
+		x := float64(a)/16 + 1
+		y := float64(b)/16 + 1
+		g1 := Geomean([]float64{x, y})
+		g2 := Geomean([]float64{2 * x, 2 * y})
+		return math.Abs(g2-2*g1) < 1e-9
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// FileSource replays a recorded power trace — the format cmd/tracegen
+// emits and the format real captures (like the NVPsim RF recordings the
+// paper uses) are easily converted to: CSV rows of `time_us,power_uW`,
+// each row starting one piecewise-constant segment. The final segment's
+// duration is taken from TailNs (default 1 ms), and the whole trace loops
+// so simulations longer than the recording keep harvesting.
+type FileSource struct {
+	Label string
+	// TailNs is the duration of the last segment. 0 means 1 ms.
+	TailNs int64
+
+	segs []fileSeg
+	pos  int
+}
+
+type fileSeg struct {
+	durNs int64
+	watts float64
+}
+
+// ParseCSV reads a `time_us,power_uW` stream. A header row is optional.
+func ParseCSV(r io.Reader) (*FileSource, error) {
+	sc := bufio.NewScanner(r)
+	type point struct {
+		tNs int64
+		w   float64
+	}
+	var pts []point
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if line == 1 && strings.HasPrefix(strings.ToLower(text), "time") {
+			continue // header
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("trace: line %d: want 2 fields, got %d", line, len(parts))
+		}
+		tUS, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: time: %v", line, err)
+		}
+		pUW, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: power: %v", line, err)
+		}
+		if pUW < 0 {
+			return nil, fmt.Errorf("trace: line %d: negative power", line)
+		}
+		pts = append(pts, point{int64(tUS * 1e3), pUW * 1e-6})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+	f := &FileSource{Label: "file", TailNs: 1_000_000}
+	for i, p := range pts {
+		var dur int64
+		if i+1 < len(pts) {
+			dur = pts[i+1].tNs - p.tNs
+			if dur <= 0 {
+				return nil, fmt.Errorf("trace: non-increasing time at row %d", i+1)
+			}
+		} else {
+			dur = f.TailNs
+		}
+		f.segs = append(f.segs, fileSeg{durNs: dur, watts: p.w})
+	}
+	return f, nil
+}
+
+// Name implements Source.
+func (f *FileSource) Name() string { return f.Label }
+
+// Reset implements Source.
+func (f *FileSource) Reset() { f.pos = 0 }
+
+// Next implements Source; the recording loops when exhausted.
+func (f *FileSource) Next() (int64, float64) {
+	s := f.segs[f.pos%len(f.segs)]
+	f.pos++
+	return s.durNs, s.watts
+}
+
+// Segments returns the number of recorded segments.
+func (f *FileSource) Segments() int { return len(f.segs) }

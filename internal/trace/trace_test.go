@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/energy"
+)
+
+func TestDeterminism(t *testing.T) {
+	for _, pr := range Profiles() {
+		a := New(pr, 42)
+		b := New(pr, 42)
+		for i := 0; i < 200; i++ {
+			da, pa := a.Next()
+			db, pb := b.Next()
+			if da != db || pa != pb {
+				t.Fatalf("%v: segment %d diverged", pr, i)
+			}
+		}
+	}
+}
+
+func TestResetRewinds(t *testing.T) {
+	s := New(RFOffice, 7)
+	d1, p1 := s.Next()
+	s.Next()
+	s.Reset()
+	d2, p2 := s.Next()
+	if d1 != d2 || p1 != p2 {
+		t.Fatal("reset did not rewind")
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(RFHome, 1), New(RFHome, 2)
+	same := true
+	for i := 0; i < 20; i++ {
+		da, pa := a.Next()
+		db, pb := b.Next()
+		if da != db || pa != pb {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestProfileCharacters(t *testing.T) {
+	// Mean power and variability must differ by design: RF is bursty
+	// (high ratio of max to mean), thermal nearly constant.
+	stats := func(pr Profile) (mean, max float64) {
+		s := New(pr, 3)
+		var totE, totT float64
+		for i := 0; i < 2000; i++ {
+			d, p := s.Next()
+			totE += p * float64(d)
+			totT += float64(d)
+			if p > max {
+				max = p
+			}
+		}
+		return totE / totT, max
+	}
+	rfMean, rfMax := stats(RFOffice)
+	thMean, thMax := stats(Thermal)
+	if rfMax/rfMean < 2 {
+		t.Errorf("RF not bursty: max/mean = %f", rfMax/rfMean)
+	}
+	if thMax/thMean > 1.2 {
+		t.Errorf("thermal too bursty: max/mean = %f", thMax/thMean)
+	}
+	if rfMean <= 0 || thMean <= 0 {
+		t.Error("non-positive mean power")
+	}
+}
+
+func TestCursorHarvestMatchesSegments(t *testing.T) {
+	src := New(RFHome, 5)
+	d1, p1 := src.Next()
+	d2, p2 := src.Next()
+	want := p1*float64(d1)*1e-9 + p2*float64(d2)*1e-9
+
+	cur := NewCursor(New(RFHome, 5))
+	got := cur.Harvest(d1 + d2)
+	if diff := got - want; diff > 1e-15 || diff < -1e-15 {
+		t.Errorf("harvest %g want %g", got, want)
+	}
+}
+
+func TestCursorHarvestSplitsSegments(t *testing.T) {
+	cur := NewCursor(&Constant{P: 1e-3})
+	a := cur.Harvest(500)
+	b := cur.Harvest(500)
+	whole := NewCursor(&Constant{P: 1e-3}).Harvest(1000)
+	if diff := (a + b) - whole; diff > 1e-18 || diff < -1e-18 {
+		t.Errorf("split harvest %g whole %g", a+b, whole)
+	}
+}
+
+func TestChargeUntilReachesTarget(t *testing.T) {
+	cap := energy.NewCapacitor(470e-9, 3.5, 2.8)
+	cur := NewCursor(&Constant{P: 1e-3})
+	var led energy.Ledger
+	elapsed, ok := cur.ChargeUntil(cap, 3.3, 2e-6, 1e12, &led)
+	if !ok {
+		t.Fatal("charge failed")
+	}
+	if cap.V() < 3.3 {
+		t.Errorf("V = %f", cap.V())
+	}
+	// Time should be roughly energy/power.
+	need := 0.5 * 470e-9 * (3.3*3.3 - 2.8*2.8)
+	wantNs := need / (1e-3 - 2e-6) * 1e9
+	if ratio := float64(elapsed) / wantNs; ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("elapsed %d want ~%f", elapsed, wantNs)
+	}
+	if led.Sleep <= 0 {
+		t.Error("sleep energy not recorded")
+	}
+}
+
+func TestChargeUntilStagnation(t *testing.T) {
+	capac := energy.NewCapacitor(470e-9, 3.5, 2.8)
+	// Source weaker than the sleep draw can never charge.
+	cur := NewCursor(&Constant{P: 1e-9})
+	var led energy.Ledger
+	_, ok := cur.ChargeUntil(capac, 3.3, 2e-6, 1e9, &led)
+	if ok {
+		t.Fatal("charged from a source weaker than sleep draw")
+	}
+}
+
+func TestProfileNames(t *testing.T) {
+	if RFHome.String() != "RFHome" || Thermal.String() != "thermal" {
+		t.Error("profile names")
+	}
+	if len(Profiles()) != 4 {
+		t.Error("profile count")
+	}
+}

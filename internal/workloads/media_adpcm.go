@@ -1,0 +1,367 @@
+package workloads
+
+import (
+	"repro/internal/ir"
+)
+
+// IMA ADPCM tables, the real ones from the MediaBench codec.
+var adpcmIndexTable = []int64{-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8}
+
+var adpcmStepTable = []int64{
+	7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37,
+	41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173,
+	190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658,
+	724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+	2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894,
+	6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289,
+	16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+}
+
+// buildADPCMEnc is adpcmenc: IMA ADPCM speech encoding. Per sample: sign
+// split, three quantization compares against a shrinking step, predictor
+// update, index clamp, and one output byte — the classic branchy low-store
+// codec loop.
+func buildADPCMEnc(scale int) *ir.Program {
+	k := newKernel("adpcmenc", 0xad9c)
+	n := 2600 * normScale(scale)
+	in := k.words(int(n), func(int) int64 { return k.rng.Int63n(65536) - 32768 })
+	steps := k.p.AllocWords(adpcmStepTable)
+	idxTab := k.p.AllocWords(adpcmIndexTable)
+	out := k.p.Alloc(n)
+
+	f := k.p.NewFunc("main")
+	en := f.Entry()
+	// R0 ctr, R1 valp, R2 index, R13 limit, R12 zero, R14 checksum acc.
+	en.MovI(R0, 0)
+	en.MovI(R1, 0)
+	en.MovI(R2, 0)
+	en.MovI(R12, 0)
+	en.MovI(R14, 0)
+	en.MovI(R13, n)
+
+	lp := NewLoop(f, "samp", en, R0, R13)
+	b := lp.Body
+	// R3 = sample
+	b.MovI(R10, in)
+	b.ShlI(R4, R0, 3)
+	b.Add(R10, R10, R4)
+	b.Ld(R3, R10, 0)
+	// delta = sample - valp; sign = (delta<0) ? 8 : 0 (branch, then abs)
+	b.Sub(R5, R3, R1)
+	neg := f.NewBlock("samp.neg")
+	pos := f.NewBlock("samp.pos")
+	b.Blt(R5, R12, neg, pos)
+	neg.Sub(R5, R12, R5)
+	neg.MovI(R6, 8)
+	neg.Jmp(pos)
+	// pos: R6 holds sign only on the neg path; normalize.
+	q := f.NewBlock("samp.q")
+	pos.Slt(R7, R3, R1) // sign bit recomputed branchlessly: valp > sample
+	pos.MulI(R6, R7, 8)
+	pos.Jmp(q)
+	// step = steps[index]; three-stage quantization with branches.
+	q.MovI(R10, steps)
+	q.ShlI(R4, R2, 3)
+	q.Add(R10, R10, R4)
+	q.Ld(R8, R10, 0) // step
+	q.MovI(R7, 0)    // code
+	q.Mov(R9, R8)    // vpdiff accumulates step/8 pieces
+	q.SarI(R9, R9, 3)
+	q4 := f.NewBlock("samp.q4")
+	q4b := f.NewBlock("samp.q4b")
+	q.Bge(R5, R8, q4, q4b)
+	q4.OrI(R7, R7, 4)
+	q4.Sub(R5, R5, R8)
+	q4.Add(R9, R9, R8)
+	q4.Jmp(q4b)
+	q2 := f.NewBlock("samp.q2")
+	q2b := f.NewBlock("samp.q2b")
+	q4b.SarI(R8, R8, 1)
+	q4b.Bge(R5, R8, q2, q2b)
+	q2.OrI(R7, R7, 2)
+	q2.Sub(R5, R5, R8)
+	q2.Add(R9, R9, R8)
+	q2.Jmp(q2b)
+	q1 := f.NewBlock("samp.q1")
+	upd := f.NewBlock("samp.upd")
+	q2b.SarI(R8, R8, 1)
+	q2b.Bge(R5, R8, q1, upd)
+	q1.OrI(R7, R7, 1)
+	q1.Add(R9, R9, R8)
+	q1.Jmp(upd)
+	// Predictor update: valp +/- vpdiff, clamped to 16-bit (branchless).
+	clampDone := f.NewBlock("samp.cl")
+	updNeg := f.NewBlock("samp.updneg")
+	upd.Bne(R6, R12, updNeg, clampDone)
+	updNeg.Sub(R9, R12, R9)
+	updNeg.Jmp(clampDone)
+	st := f.NewBlock("samp.st")
+	clampDone.Add(R1, R1, R9)
+	clampDone.MovI(R10, 32767)
+	clampDone.Slt(R4, R10, R1) // valp > 32767?
+	clampDone.MovI(R11, -32768)
+	clampDone.Sub(R10, R10, R1)
+	clampDone.Mul(R10, R10, R4)
+	clampDone.Add(R1, R1, R10) // clamp high
+	clampDone.Slt(R4, R1, R11)
+	clampDone.Sub(R10, R11, R1)
+	clampDone.Mul(R10, R10, R4)
+	clampDone.Add(R1, R1, R10) // clamp low
+	// index += indexTable[code]; clamp 0..88 (branchless)
+	clampDone.MovI(R10, idxTab)
+	clampDone.ShlI(R4, R7, 3)
+	clampDone.Add(R10, R10, R4)
+	clampDone.Ld(R4, R10, 0)
+	clampDone.Add(R2, R2, R4)
+	clampDone.Slt(R4, R2, R12)
+	clampDone.MovI(R10, 1)
+	clampDone.Sub(R10, R10, R4)
+	clampDone.Mul(R2, R2, R10) // index<0 -> 0
+	clampDone.MovI(R11, 88)
+	clampDone.Slt(R4, R11, R2)
+	clampDone.Sub(R10, R11, R2)
+	clampDone.Mul(R10, R10, R4)
+	clampDone.Add(R2, R2, R10) // index>88 -> 88
+	clampDone.Jmp(st)
+	// Emit code|sign as one byte and fold into the checksum.
+	st.Or(R7, R7, R6)
+	st.MovI(R10, out)
+	st.Add(R10, R10, R0)
+	st.StB(R10, 0, R7)
+	st.Add(R14, R14, R7)
+	st.ShlI(R4, R14, 1)
+	st.Xor(R14, R14, R4)
+	lp.Close(st, 1)
+
+	k.finishFold(newLib(k), f, lp.Exit, out, n, R14)
+	return k.p
+}
+
+// buildADPCMDec is adpcmdec: the matching decoder. Per 4-bit code: table
+// step lookup, sign split, predictor reconstruction with clamps, one
+// 16-bit sample store.
+func buildADPCMDec(scale int) *ir.Program {
+	k := newKernel("adpcmdec", 0xad0d)
+	n := 2600 * normScale(scale)
+	in := k.randBytes(int(n)) // 4-bit codes in low nibbles
+	steps := k.p.AllocWords(adpcmStepTable)
+	idxTab := k.p.AllocWords(adpcmIndexTable)
+	out := k.p.Alloc(n * 8)
+
+	f := k.p.NewFunc("main")
+	en := f.Entry()
+	en.MovI(R0, 0)
+	en.MovI(R1, 0) // valp
+	en.MovI(R2, 0) // index
+	en.MovI(R12, 0)
+	en.MovI(R14, 0)
+	en.MovI(R13, n)
+
+	lp := NewLoop(f, "dec", en, R0, R13)
+	b := lp.Body
+	// code = in[i] & 15
+	b.MovI(R10, in)
+	b.Add(R10, R10, R0)
+	b.LdB(R3, R10, 0)
+	b.AndI(R3, R3, 15)
+	// step = steps[index]
+	b.MovI(R10, steps)
+	b.ShlI(R4, R2, 3)
+	b.Add(R10, R10, R4)
+	b.Ld(R8, R10, 0)
+	// vpdiff = step>>3 + pieces per code bits (branchless adds)
+	b.SarI(R9, R8, 3)
+	b.AndI(R5, R3, 4)
+	b.ShrI(R5, R5, 2)
+	b.Mul(R5, R5, R8)
+	b.Add(R9, R9, R5)
+	b.SarI(R8, R8, 1)
+	b.AndI(R5, R3, 2)
+	b.ShrI(R5, R5, 1)
+	b.Mul(R5, R5, R8)
+	b.Add(R9, R9, R5)
+	b.SarI(R8, R8, 1)
+	b.AndI(R5, R3, 1)
+	b.Mul(R5, R5, R8)
+	b.Add(R9, R9, R5)
+	// sign (bit 3): branch to subtract or add
+	sub := f.NewBlock("dec.sub")
+	add := f.NewBlock("dec.add")
+	cl := f.NewBlock("dec.cl")
+	b.AndI(R6, R3, 8)
+	b.Bne(R6, R12, sub, add)
+	sub.Sub(R1, R1, R9)
+	sub.Jmp(cl)
+	add.Add(R1, R1, R9)
+	add.Jmp(cl)
+	// clamp valp to 16-bit, update index with clamp (as encoder)
+	st := f.NewBlock("dec.st")
+	cl.MovI(R10, 32767)
+	cl.Slt(R4, R10, R1)
+	cl.Sub(R10, R10, R1)
+	cl.Mul(R10, R10, R4)
+	cl.Add(R1, R1, R10)
+	cl.MovI(R11, -32768)
+	cl.Slt(R4, R1, R11)
+	cl.Sub(R10, R11, R1)
+	cl.Mul(R10, R10, R4)
+	cl.Add(R1, R1, R10)
+	cl.MovI(R10, idxTab)
+	cl.ShlI(R4, R3, 3)
+	cl.Add(R10, R10, R4)
+	cl.Ld(R4, R10, 0)
+	cl.Add(R2, R2, R4)
+	cl.Slt(R4, R2, R12)
+	cl.MovI(R10, 1)
+	cl.Sub(R10, R10, R4)
+	cl.Mul(R2, R2, R10)
+	cl.MovI(R11, 88)
+	cl.Slt(R4, R11, R2)
+	cl.Sub(R10, R11, R2)
+	cl.Mul(R10, R10, R4)
+	cl.Add(R2, R2, R10)
+	cl.Jmp(st)
+	// out[i] = valp
+	st.MovI(R10, out)
+	st.ShlI(R4, R0, 3)
+	st.Add(R10, R10, R4)
+	st.St(R10, 0, R1)
+	st.Add(R14, R14, R1)
+	st.ShlI(R4, R14, 3)
+	st.Xor(R14, R14, R4)
+	lp.Close(st, 1)
+
+	k.finishFold(newLib(k), f, lp.Exit, out, n*8, R14)
+	return k.p
+}
+
+// buildG721 builds g721enc/g721dec: CCITT G.721 ADPCM. The miniature keeps
+// the codec's signature structure — an adaptive predictor of two poles and
+// six zeroes updated per sample (a short inner loop over the delay line,
+// i.e. many loads and a handful of stores per sample) plus logarithmic
+// quantization built from shifts and compares.
+func buildG721(name string, seed int64, decode bool) func(scale int) *ir.Program {
+	return func(scale int) *ir.Program {
+		k := newKernel(name, seed)
+		n := 900 * normScale(scale)
+		in := k.words(int(n), func(int) int64 { return k.rng.Int63n(8192) - 4096 })
+		delay := k.p.AllocWords(make([]int64, 8)) // b[0..5] delay line + 2 poles
+		coef := k.p.AllocWords([]int64{0, 0, 0, 0, 0, 0, 0, 0})
+		out := k.p.Alloc(n * 8)
+
+		f := k.p.NewFunc("main")
+		en := f.Entry()
+		en.MovI(R0, 0)  // sample ctr
+		en.MovI(R12, 0) // zero
+		en.MovI(R14, 0) // checksum
+		en.MovI(R13, n)
+
+		lp := NewLoop(f, "g721", en, R0, R13)
+		b := lp.Body
+		// Load input sample.
+		b.MovI(R10, in)
+		b.ShlI(R4, R0, 3)
+		b.Add(R10, R10, R4)
+		b.Ld(R3, R10, 0)
+		// Predictor: se = sum(coef[j] * delay[j]) >> 6 over 8 taps.
+		b.MovI(R1, 0) // j
+		b.MovI(R2, 0) // se
+		b.MovI(R11, 8)
+		inner := NewLoop(f, "pred", b, R1, R11)
+		ib := inner.Body
+		ib.MovI(R10, coef)
+		ib.ShlI(R4, R1, 3)
+		ib.Add(R10, R10, R4)
+		ib.Ld(R5, R10, 0)
+		ib.MovI(R10, delay)
+		ib.Add(R10, R10, R4)
+		ib.Ld(R6, R10, 0)
+		ib.Mul(R5, R5, R6)
+		ib.Add(R2, R2, R5)
+		inner.Close(ib, 1)
+		c := inner.Exit
+		c.SarI(R2, R2, 6)
+		// d = sample - se; logarithmic quantization via shift loop
+		// (count leading magnitude): dq = quantize(d).
+		c.Sub(R5, R3, R2)
+		neg := f.NewBlock("g721.neg")
+		qs := f.NewBlock("g721.qs")
+		c.Blt(R5, R12, neg, qs)
+		neg.Sub(R5, R12, R5)
+		neg.Jmp(qs)
+		// exponent search: 7 compares via unrolled shifts
+		qs.MovI(R6, 0) // exp
+		qs.Mov(R7, R5)
+		for i := 0; i < 5; i++ {
+			nxt := f.NewBlock("g721.e")
+			step := f.NewBlock("g721.es")
+			qs.MovI(R10, 16)
+			qs.Blt(R7, R10, nxt, step)
+			step.SarI(R7, R7, 1)
+			step.AddI(R6, R6, 1)
+			step.Jmp(nxt)
+			qs = nxt
+		}
+		// Reconstruct dq = (16+ (R7&15)) << exp >> 4, signed by d<0.
+		qs.AndI(R7, R7, 15)
+		qs.AddI(R7, R7, 16)
+		qs.Shl(R7, R7, R6)
+		qs.SarI(R7, R7, 4)
+		qs.Slt(R4, R3, R2)
+		qs.MovI(R10, 1)
+		qs.ShlI(R4, R4, 1)
+		qs.Sub(R10, R10, R4) // +1 or -1
+		qs.Mul(R7, R7, R10)  // signed dq
+		// sr = se + dq; shift delay line (6 stores), adapt coefs (sign-sign LMS on 2 taps).
+		upd := f.NewBlock("g721.upd")
+		qs.Jmp(upd)
+		upd.Add(R8, R2, R7) // sr
+		// delay line shift: delay[j] = delay[j-1] for j=7..1, delay[0]=dq
+		upd.MovI(R1, 7)
+		sh := f.NewBlock("g721.shift")
+		shx := f.NewBlock("g721.shiftx")
+		upd.Jmp(sh)
+		shBody := f.NewBlock("g721.shb")
+		sh.Beq(R1, R12, shx, shBody)
+		shBody.MovI(R10, delay)
+		shBody.ShlI(R4, R1, 3)
+		shBody.Add(R10, R10, R4)
+		shBody.Ld(R5, R10, -8)
+		shBody.St(R10, 0, R5)
+		shBody.AddI(R1, R1, -1)
+		shBody.Jmp(sh)
+		shx.MovI(R10, delay)
+		shx.St(R10, 0, R7)
+		// LMS: coef[0] += sign(dq)*sign(delay[1]) (branchless-ish)
+		shx.Ld(R5, R10, 8)
+		shx.Slt(R4, R5, R12)
+		shx.ShlI(R4, R4, 1)
+		shx.MovI(R11, 1)
+		shx.Sub(R11, R11, R4)
+		shx.Slt(R4, R7, R12)
+		shx.ShlI(R4, R4, 1)
+		shx.MovI(R9, 1)
+		shx.Sub(R9, R9, R4)
+		shx.Mul(R9, R9, R11)
+		shx.MovI(R10, coef)
+		shx.Ld(R5, R10, 0)
+		shx.Add(R5, R5, R9)
+		shx.St(R10, 0, R5)
+		// Output: encoder emits exp|quant word, decoder emits sr.
+		outv := R8
+		if !decode {
+			outv = R7
+		}
+		shx.MovI(R10, out)
+		shx.ShlI(R4, R0, 3)
+		shx.Add(R10, R10, R4)
+		shx.St(R10, 0, outv)
+		shx.Add(R14, R14, outv)
+		shx.ShlI(R4, R14, 5)
+		shx.Xor(R14, R14, R4)
+		lp.Close(shx, 1)
+
+		k.finishFold(newLib(k), f, lp.Exit, out, n*8, R14)
+		return k.p
+	}
+}

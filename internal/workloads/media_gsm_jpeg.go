@@ -1,0 +1,294 @@
+package workloads
+
+import (
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// buildGSM builds gsmenc/gsmdec: GSM 06.10 full-rate. The miniature keeps
+// the codec's dominant kernels: per 40-sample subframe, an LTP-style
+// cross-correlation search (nested MAC loop over a lag window — load-heavy,
+// store-light) followed by APCM quantization of the residual (per-sample
+// shifts and compares with one store).
+func buildGSM(name string, seed int64, decode bool) func(scale int) *ir.Program {
+	return func(scale int) *ir.Program {
+		k := newKernel(name, seed)
+		frames := 26 * normScale(scale)
+		const sub = 40
+		const lags = 12
+		in := k.words(int(frames)*sub+128, func(int) int64 { return k.rng.Int63n(4096) - 2048 })
+		out := k.p.Alloc(frames * sub * 8)
+
+		f := k.p.NewFunc("main")
+		en := f.Entry()
+		en.MovI(R0, 0) // frame counter
+		en.MovI(R12, 0)
+		en.MovI(R14, 0)
+		en.MovI(R13, frames)
+
+		fr := NewLoop(f, "frame", en, R0, R13)
+		fb := fr.Body
+		// base = in + 8*(64 + frame*sub): leave history headroom.
+		fb.MulI(R1, R0, sub*8)
+		fb.MovI(R10, in+64*8)
+		fb.Add(R1, R1, R10) // R1 = frame base
+
+		// LTP search: best lag by max correlation.
+		fb.MovI(R2, 0) // lag
+		fb.MovI(R8, 0) // best corr
+		fb.MovI(R9, 0) // best lag
+		fb.MovI(R11, lags)
+		lagLp := NewLoop(f, "lag", fb, R2, R11)
+		lb := lagLp.Body
+		lb.MovI(R3, 0) // j
+		lb.MovI(R4, 0) // acc
+		lb.MovI(R10, sub)
+		mac := NewLoop(f, "mac", lb, R3, R10)
+		mb := mac.Body
+		mb.ShlI(R5, R3, 3)
+		mb.Add(R5, R5, R1)
+		mb.Ld(R6, R5, 0) // x[j]
+		mb.ShlI(R7, R2, 3)
+		mb.Sub(R7, R5, R7)
+		mb.Ld(R7, R7, -8) // x[j-lag-1]
+		mb.Mul(R6, R6, R7)
+		mb.SarI(R6, R6, 6)
+		mb.Add(R4, R4, R6)
+		mac.Close(mb, 1)
+		me := mac.Exit
+		better := f.NewBlock("lag.better")
+		cont := f.NewBlock("lag.cont")
+		me.Blt(R8, R4, better, cont)
+		better.Mov(R8, R4)
+		better.Mov(R9, R2)
+		better.Jmp(cont)
+		lagLp.Close(cont, 1)
+
+		// APCM: quantize each residual sample to 6 levels by shifting.
+		le := lagLp.Exit
+		le.MovI(R3, 0)
+		le.MovI(R10, sub)
+		ap := NewLoop(f, "apcm", le, R3, R10)
+		ab := ap.Body
+		ab.ShlI(R5, R3, 3)
+		ab.Add(R5, R5, R1)
+		ab.Ld(R6, R5, 0)
+		// residual = x - (best>>4 scaled by lag parity)
+		ab.SarI(R7, R8, 4)
+		ab.AndI(R4, R9, 1)
+		ab.Mul(R7, R7, R4)
+		ab.Sub(R6, R6, R7)
+		if decode {
+			// Decoder reconstructs: sample = residual<<2 + bias.
+			ab.ShlI(R6, R6, 2)
+			ab.Add(R6, R6, R9)
+		} else {
+			// Encoder quantizes: code = residual >> 3 clamped.
+			ab.SarI(R6, R6, 3)
+		}
+		// out[frame*sub + j] = value
+		ab.MulI(R7, R0, sub*8)
+		ab.ShlI(R4, R3, 3)
+		ab.Add(R7, R7, R4)
+		ab.MovI(R5, out)
+		ab.Add(R7, R7, R5)
+		ab.St(R7, 0, R6)
+		ab.Add(R14, R14, R6)
+		ab.ShlI(R4, R14, 7)
+		ab.Xor(R14, R14, R4)
+		ap.Close(ab, 1)
+		fr.Close(ap.Exit, 1)
+
+		k.finishFold(newLib(k), f, fr.Exit, out, frames*sub*8, R14)
+		return k.p
+	}
+}
+
+// jpegBlock emits the shared 8-point butterfly pass used by both jpeg
+// kernels: a row-wise integer DCT-like transform over one 8x8 block held
+// at base register rbase (word elements), in place.
+func jpegRowPass(f *ir.Function, b *ir.Block, rbase isa.Reg) *ir.Block {
+	// for row in 0..8: butterflies on the 8 row elements.
+	b.MovI(R1, 0)
+	b.MovI(R11, 8)
+	rows := NewLoop(f, "rows", b, R1, R11)
+	rb := rows.Body
+	rb.MulI(R2, R1, 64) // row offset bytes
+	rb.Add(R2, R2, rbase)
+	// Load pairs, butterfly, store back: (a,b) -> (a+b, (a-b)*c>>3)
+	for i := 0; i < 4; i++ {
+		lo, hi := int64(i*8), int64((7-i)*8)
+		rb.Ld(R3, R2, lo)
+		rb.Ld(R4, R2, hi)
+		rb.Add(R5, R3, R4)
+		rb.Sub(R6, R3, R4)
+		rb.MulI(R6, R6, int64(3+i*2))
+		rb.SarI(R6, R6, 3)
+		rb.St(R2, lo, R5)
+		rb.St(R2, hi, R6)
+	}
+	rows.Close(rb, 1)
+	return rows.Exit
+}
+
+// buildJPEGEnc is jpegenc: per 8x8 block, load pixels, forward integer
+// DCT-like butterflies (row pass), quantization by table division, and
+// zigzag-order coefficient stores.
+func buildJPEGEnc(scale int) *ir.Program {
+	k := newKernel("jpegenc", 0x19e6)
+	blocks := 80 * normScale(scale)
+	pix := k.randBytes(int(blocks)*64 + 64)
+	quant := k.words(64, func(i int) int64 { return int64(8 + (i%8)*3 + i/8) })
+	zig := k.words(64, func(i int) int64 { return int64((i*17 + i/8) % 64) })
+	work := k.p.Alloc(64 * 8)
+	out := k.p.Alloc(blocks * 64 * 8)
+
+	f := k.p.NewFunc("main")
+	en := f.Entry()
+	en.MovI(R0, 0)
+	en.MovI(R12, 0)
+	en.MovI(R14, 0)
+	en.MovI(R13, blocks)
+
+	lib := newLib(k)
+	blk := NewLoop(f, "blk", en, R0, R13)
+	bb0 := blk.Body
+	// Reset the work block through the runtime library (the per-frame
+	// bookkeeping real codecs route through memset), parking the block
+	// counter in r8 across the call.
+	bb0.Mov(R8, R0)
+	bb := callMemset(lib, f, bb0, "blk.clear", work, 0, 64)
+	bb.Mov(R0, R8)
+	bb.MovI(R12, 0)
+	// Load 64 pixels (bytes) into the work block, centered at 0.
+	bb.MovI(R1, 0)
+	bb.MovI(R11, 64)
+	ld := NewLoop(f, "ld", bb, R1, R11)
+	lb := ld.Body
+	lb.MulI(R2, R0, 64)
+	lb.Add(R2, R2, R1)
+	lb.MovI(R10, pix)
+	lb.Add(R2, R2, R10)
+	lb.LdB(R3, R2, 0)
+	lb.AddI(R3, R3, -128)
+	lb.MovI(R10, work)
+	lb.ShlI(R4, R1, 3)
+	lb.Add(R10, R10, R4)
+	lb.St(R10, 0, R3)
+	ld.Close(lb, 1)
+
+	// Row butterflies over the work block.
+	pre := ld.Exit
+	pre.MovI(R9, work)
+	post := jpegRowPass(f, pre, R9)
+
+	// Quantize + zigzag store to output.
+	post.MovI(R1, 0)
+	post.MovI(R11, 64)
+	qz := NewLoop(f, "qz", post, R1, R11)
+	qb := qz.Body
+	qb.MovI(R10, work)
+	qb.ShlI(R4, R1, 3)
+	qb.Add(R10, R10, R4)
+	qb.Ld(R3, R10, 0)
+	qb.MovI(R10, quant)
+	qb.Add(R10, R10, R4)
+	qb.Ld(R5, R10, 0)
+	qb.Div(R3, R3, R5)
+	qb.MovI(R10, zig)
+	qb.Add(R10, R10, R4)
+	qb.Ld(R6, R10, 0) // zigzag position
+	qb.MulI(R7, R0, 64*8)
+	qb.ShlI(R6, R6, 3)
+	qb.Add(R7, R7, R6)
+	qb.MovI(R10, out)
+	qb.Add(R7, R7, R10)
+	qb.St(R7, 0, R3)
+	qb.Add(R14, R14, R3)
+	qb.ShlI(R4, R14, 9)
+	qb.Xor(R14, R14, R4)
+	qz.Close(qb, 1)
+	blk.Close(qz.Exit, 1)
+
+	k.finishFold(newLib(k), f, blk.Exit, out, blocks*64*8, R14)
+	return k.p
+}
+
+// buildJPEGDec is jpegdec: dequantization, inverse butterflies, and
+// clamped byte stores — the decoder mirror with byte-granular output.
+func buildJPEGDec(scale int) *ir.Program {
+	k := newKernel("jpegdec", 0x19d6)
+	blocks := 80 * normScale(scale)
+	coef := k.words(int(blocks)*64, func(int) int64 { return k.rng.Int63n(64) - 32 })
+	quant := k.words(64, func(i int) int64 { return int64(8 + (i%8)*3 + i/8) })
+	work := k.p.Alloc(64 * 8)
+	out := k.p.Alloc(blocks * 64)
+
+	f := k.p.NewFunc("main")
+	en := f.Entry()
+	en.MovI(R0, 0)
+	en.MovI(R12, 0)
+	en.MovI(R14, 0)
+	en.MovI(R13, blocks)
+
+	blk := NewLoop(f, "blk", en, R0, R13)
+	bb := blk.Body
+	// Dequantize into the work block.
+	bb.MovI(R1, 0)
+	bb.MovI(R11, 64)
+	dq := NewLoop(f, "dq", bb, R1, R11)
+	db := dq.Body
+	db.MulI(R2, R0, 64*8)
+	db.ShlI(R4, R1, 3)
+	db.Add(R2, R2, R4)
+	db.MovI(R10, coef)
+	db.Add(R2, R2, R10)
+	db.Ld(R3, R2, 0)
+	db.MovI(R10, quant)
+	db.Add(R10, R10, R4)
+	db.Ld(R5, R10, 0)
+	db.Mul(R3, R3, R5)
+	db.MovI(R10, work)
+	db.Add(R10, R10, R4)
+	db.St(R10, 0, R3)
+	dq.Close(db, 1)
+
+	pre := dq.Exit
+	pre.MovI(R9, work)
+	post := jpegRowPass(f, pre, R9)
+
+	// Clamp to [0,255] and store bytes.
+	post.MovI(R1, 0)
+	post.MovI(R11, 64)
+	st := NewLoop(f, "st", post, R1, R11)
+	sb := st.Body
+	sb.MovI(R10, work)
+	sb.ShlI(R4, R1, 3)
+	sb.Add(R10, R10, R4)
+	sb.Ld(R3, R10, 0)
+	sb.AddI(R3, R3, 128)
+	// Branchless clamp: r3 = min(max(r3,0),255)
+	sb.Slt(R4, R3, R12)
+	sb.MovI(R10, 1)
+	sb.Sub(R10, R10, R4)
+	sb.Mul(R3, R3, R10)
+	sb.MovI(R11, 255)
+	sb.Slt(R4, R11, R3)
+	sb.Sub(R10, R11, R3)
+	sb.Mul(R10, R10, R4)
+	sb.Add(R3, R3, R10)
+	sb.MovI(R11, 64) // restore loop limit clobbered above
+	sb.MulI(R5, R0, 64)
+	sb.Add(R5, R5, R1)
+	sb.MovI(R10, out)
+	sb.Add(R5, R5, R10)
+	sb.StB(R5, 0, R3)
+	sb.Add(R14, R14, R3)
+	sb.ShlI(R4, R14, 11)
+	sb.Xor(R14, R14, R4)
+	st.Close(sb, 1)
+	blk.Close(st.Exit, 1)
+
+	k.finishFold(newLib(k), f, blk.Exit, out, blocks*64, R14)
+	return k.p
+}

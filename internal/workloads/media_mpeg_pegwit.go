@@ -1,0 +1,240 @@
+package workloads
+
+import "repro/internal/ir"
+
+// buildMPEG2Dec is mpeg2dec: motion compensation — per 16x16 macroblock,
+// bilinear-average two reference blocks into the output frame. Load-pair,
+// average, store per pixel: a streaming kernel with a store every few
+// instructions.
+func buildMPEG2Dec(scale int) *ir.Program {
+	k := newKernel("mpeg2dec", 0x3e62d)
+	mbs := 20 * normScale(scale)
+	const mbPix = 256
+	ref0 := k.randBytes(int(mbs)*mbPix + 512)
+	ref1 := k.randBytes(int(mbs)*mbPix + 512)
+	mv := k.words(int(mbs), func(int) int64 { return k.rng.Int63n(256) })
+	out := k.p.Alloc(mbs * mbPix)
+
+	f := k.p.NewFunc("main")
+	en := f.Entry()
+	en.MovI(R0, 0)
+	en.MovI(R12, 0)
+	en.MovI(R14, 0)
+	en.MovI(R13, mbs)
+
+	mb := NewLoop(f, "mb", en, R0, R13)
+	bb := mb.Body
+	// Motion vector offset for this macroblock.
+	bb.MovI(R10, mv)
+	bb.ShlI(R4, R0, 3)
+	bb.Add(R10, R10, R4)
+	bb.Ld(R9, R10, 0) // mv offset 0..255
+	bb.MovI(R1, 0)
+	bb.MovI(R11, mbPix)
+	px := NewLoop(f, "px", bb, R1, R11)
+	pb := px.Body
+	pb.MulI(R2, R0, mbPix)
+	pb.Add(R2, R2, R1)
+	pb.Add(R3, R2, R9) // displaced index
+	pb.MovI(R10, ref0)
+	pb.Add(R4, R10, R3)
+	pb.LdB(R5, R4, 0)
+	pb.MovI(R10, ref1)
+	pb.Add(R4, R10, R3)
+	pb.LdB(R6, R4, 0)
+	pb.Add(R5, R5, R6)
+	pb.AddI(R5, R5, 1)
+	pb.SarI(R5, R5, 1) // rounded average
+	pb.MovI(R10, out)
+	pb.Add(R4, R10, R2)
+	pb.StB(R4, 0, R5)
+	pb.Add(R14, R14, R5)
+	pb.ShlI(R4, R14, 13)
+	pb.Xor(R14, R14, R4)
+	px.Close(pb, 1)
+	mb.Close(px.Exit, 1)
+
+	k.finishFold(newLib(k), f, mb.Exit, out, mbs*mbPix, R14)
+	return k.p
+}
+
+// buildMPEG2Enc is mpeg2enc: motion estimation — per macroblock, a SAD
+// (sum of absolute differences) search over candidate displacements. Very
+// load-heavy with branches for the abs and the best-candidate update, and
+// almost no stores until the per-block result.
+func buildMPEG2Enc(scale int) *ir.Program {
+	k := newKernel("mpeg2enc", 0x3e62e)
+	mbs := 6 * normScale(scale)
+	const mbPix = 64 // 8x8 SAD window keeps runtime reasonable
+	const cands = 16
+	cur := k.randBytes(int(mbs)*mbPix + 1024)
+	ref := k.randBytes(int(mbs)*mbPix + 1024)
+	out := k.p.Alloc(mbs * 8)
+
+	f := k.p.NewFunc("main")
+	en := f.Entry()
+	en.MovI(R0, 0)
+	en.MovI(R12, 0)
+	en.MovI(R14, 0)
+	en.MovI(R13, mbs)
+
+	mb := NewLoop(f, "mb", en, R0, R13)
+	bb := mb.Body
+	bb.MovI(R8, 1<<30) // best SAD
+	bb.MovI(R9, 0)     // best candidate
+	bb.MovI(R1, 0)     // candidate
+	bb.MovI(R11, cands)
+	cd := NewLoop(f, "cand", bb, R1, R11)
+	cb := cd.Body
+	cb.MovI(R2, 0) // pixel
+	cb.MovI(R3, 0) // sad
+	cb.MovI(R10, mbPix)
+	px := NewLoop(f, "sad", cb, R2, R10)
+	pb := px.Body
+	pb.MulI(R4, R0, mbPix)
+	pb.Add(R4, R4, R2)
+	pb.MovI(R10, cur)
+	pb.Add(R5, R10, R4)
+	pb.LdB(R6, R5, 0)
+	pb.MulI(R5, R1, 4)
+	pb.Add(R5, R5, R4)
+	pb.MovI(R10, ref)
+	pb.Add(R5, R10, R5)
+	pb.LdB(R7, R5, 0)
+	pb.Sub(R6, R6, R7)
+	abs := f.NewBlock("sad.abs")
+	acc := f.NewBlock("sad.acc")
+	pb.Blt(R6, R12, abs, acc)
+	abs.Sub(R6, R12, R6)
+	abs.Jmp(acc)
+	acc.Add(R3, R3, R6)
+	acc.MovI(R10, mbPix) // restore inner limit
+	px.Close(acc, 1)
+	pe := px.Exit
+	better := f.NewBlock("cand.better")
+	cont := f.NewBlock("cand.cont")
+	pe.Blt(R3, R8, better, cont)
+	better.Mov(R8, R3)
+	better.Mov(R9, R1)
+	better.Jmp(cont)
+	cd.Close(cont, 1)
+
+	ce := cd.Exit
+	ce.MovI(R10, out)
+	ce.ShlI(R4, R0, 3)
+	ce.Add(R10, R10, R4)
+	ce.ShlI(R5, R9, 16)
+	ce.Or(R5, R5, R8)
+	ce.St(R10, 0, R5)
+	ce.Add(R14, R14, R5)
+	ce.ShlI(R4, R14, 3)
+	ce.Xor(R14, R14, R4)
+	mb.Close(ce, 1)
+
+	k.finishFold(newLib(k), f, mb.Exit, out, mbs*8, R14)
+	return k.p
+}
+
+// buildPegwit builds pegwitenc/pegwitdec: public-key-ish crypto. The
+// miniature keeps pegwit's character — wide-integer modular square-and-
+// multiply (mul/shift/xor chains over a digit array with periodic stores)
+// driven by key bits, which makes it branchy and compute-dense.
+func buildPegwit(name string, seed int64, decode bool) func(scale int) *ir.Program {
+	return func(scale int) *ir.Program {
+		k := newKernel(name, seed)
+		msgs := 48 * normScale(scale)
+		const digits = 8
+		msg := k.randWords(int(msgs)*digits, 1<<30)
+		key := k.randWords(64, 1<<62)
+		out := k.p.Alloc(msgs * digits * 8)
+		acc := k.p.Alloc(digits * 8)
+
+		f := k.p.NewFunc("main")
+		en := f.Entry()
+		en.MovI(R0, 0)
+		en.MovI(R12, 0)
+		en.MovI(R14, 0)
+		en.MovI(R13, msgs)
+
+		m := NewLoop(f, "msg", en, R0, R13)
+		bb := m.Body
+		// Load key word for this message.
+		bb.AndI(R4, R0, 63)
+		bb.ShlI(R4, R4, 3)
+		bb.MovI(R10, key)
+		bb.Add(R10, R10, R4)
+		bb.Ld(R8, R10, 0) // key word
+		// Square-and-multiply over 16 key bits; state in acc[digits].
+		bb.MovI(R1, 0)
+		bb.MovI(R11, 16)
+		bits := NewLoop(f, "bit", bb, R1, R11)
+		tb := bits.Body
+		// Square pass over digits: acc[d] = (acc[d]*acc[d] + msg[d]) mod 2^31-ish
+		tb.MovI(R2, 0)
+		tb.MovI(R10, digits)
+		dg := NewLoop(f, "dig", tb, R2, R10)
+		db := dg.Body
+		db.MovI(R10, acc)
+		db.ShlI(R4, R2, 3)
+		db.Add(R10, R10, R4)
+		db.Ld(R3, R10, 0)
+		db.Mul(R3, R3, R3)
+		db.MulI(R5, R0, digits*8)
+		db.Add(R5, R5, R4)
+		db.MovI(R6, msg)
+		db.Add(R5, R5, R6)
+		db.Ld(R6, R5, 0)
+		db.Add(R3, R3, R6)
+		db.MovI(R5, (1<<31)-1)
+		db.And(R3, R3, R5)
+		db.MovI(R10, acc)
+		db.Add(R10, R10, R4)
+		db.St(R10, 0, R3)
+		db.MovI(R10, digits) // restore loop limit
+		dg.Close(db, 1)
+		de := dg.Exit
+		// Multiply step only when the key bit is set (branch).
+		mulB := f.NewBlock("bit.mul")
+		cont := f.NewBlock("bit.cont")
+		de.AndI(R5, R8, 1)
+		de.SarI(R8, R8, 1)
+		de.Bne(R5, R12, mulB, cont)
+		mulB.MovI(R10, acc)
+		mulB.Ld(R3, R10, 0)
+		mulB.Ld(R4, R10, 8)
+		mulB.Mul(R3, R3, R4)
+		mulB.ShrI(R4, R3, 17)
+		mulB.Xor(R3, R3, R4)
+		mulB.St(R10, 0, R3)
+		mulB.Jmp(cont)
+		bits.Close(cont, 1)
+
+		// Emit the digest digits to the output (8 stores per message).
+		be := bits.Exit
+		be.MovI(R2, 0)
+		be.MovI(R10, digits)
+		emit := NewLoop(f, "emit", be, R2, R10)
+		eb := emit.Body
+		eb.MovI(R10, acc)
+		eb.ShlI(R4, R2, 3)
+		eb.Add(R10, R10, R4)
+		eb.Ld(R3, R10, 0)
+		if decode {
+			eb.XorI(R3, R3, 0x5a5a5a)
+		}
+		eb.MulI(R5, R0, digits*8)
+		eb.Add(R5, R5, R4)
+		eb.MovI(R6, out)
+		eb.Add(R5, R5, R6)
+		eb.St(R5, 0, R3)
+		eb.Add(R14, R14, R3)
+		eb.ShlI(R4, R14, 19)
+		eb.Xor(R14, R14, R4)
+		eb.MovI(R10, digits) // restore loop limit
+		emit.Close(eb, 1)
+		m.Close(emit.Exit, 1)
+
+		k.finishFold(newLib(k), f, m.Exit, out, msgs*digits*8, R14)
+		return k.p
+	}
+}

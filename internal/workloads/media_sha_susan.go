@@ -1,0 +1,242 @@
+package workloads
+
+import (
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// buildSHA is sha: SHA-1-style block hashing. Per 64-byte block: a message
+// schedule expanding 16 words to 80 via xor/rotate (64 stores into the
+// schedule array), then 80 compression rounds of adds/rotates/logicals,
+// then a 5-word digest update — compute-dense with bursts of stores.
+func buildSHA(scale int) *ir.Program {
+	k := newKernel("sha", 0x5a1)
+	blocksN := 24 * normScale(scale)
+	msg := k.randWords(int(blocksN)*16, 1<<32)
+	w := k.p.Alloc(80 * 8)
+	digest := k.p.AllocWords([]int64{0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0})
+
+	f := k.p.NewFunc("main")
+	en := f.Entry()
+	en.MovI(R0, 0)
+	en.MovI(R12, 0)
+	en.MovI(R14, 0)
+	en.MovI(R13, blocksN)
+
+	blk := NewLoop(f, "blk", en, R0, R13)
+	bb := blk.Body
+	// Copy 16 message words into W.
+	bb.MovI(R1, 0)
+	bb.MovI(R11, 16)
+	cp := NewLoop(f, "cp", bb, R1, R11)
+	cb := cp.Body
+	cb.MulI(R2, R0, 16*8)
+	cb.ShlI(R4, R1, 3)
+	cb.Add(R2, R2, R4)
+	cb.MovI(R10, msg)
+	cb.Add(R2, R2, R10)
+	cb.Ld(R3, R2, 0)
+	cb.MovI(R10, w)
+	cb.Add(R10, R10, R4)
+	cb.St(R10, 0, R3)
+	cp.Close(cb, 1)
+	// Expand W[16..80): W[t] = rotl1(W[t-3]^W[t-8]^W[t-14]^W[t-16]).
+	ce := cp.Exit
+	ce.MovI(R1, 16)
+	ce.MovI(R11, 80)
+	ex := NewLoop(f, "ex", ce, R1, R11)
+	eb := ex.Body
+	eb.MovI(R10, w)
+	eb.ShlI(R4, R1, 3)
+	eb.Add(R10, R10, R4)
+	eb.Ld(R3, R10, -3*8)
+	eb.Ld(R5, R10, -8*8)
+	eb.Xor(R3, R3, R5)
+	eb.Ld(R5, R10, -14*8)
+	eb.Xor(R3, R3, R5)
+	eb.Ld(R5, R10, -16*8)
+	eb.Xor(R3, R3, R5)
+	eb.ShlI(R5, R3, 1)
+	eb.ShrI(R3, R3, 31)
+	eb.Or(R3, R3, R5)
+	eb.MovI(R5, 0xFFFFFFFF)
+	eb.And(R3, R3, R5)
+	eb.St(R10, 0, R3)
+	ex.Close(eb, 1)
+	// 80 rounds: a,b,c,d,e in R2..R6.
+	xe := ex.Exit
+	xe.MovI(R10, digest)
+	xe.Ld(R2, R10, 0)
+	xe.Ld(R3, R10, 8)
+	xe.Ld(R4, R10, 16)
+	xe.Ld(R5, R10, 24)
+	xe.Ld(R6, R10, 32)
+	xe.MovI(R1, 0)
+	xe.MovI(R11, 80)
+	rd := NewLoop(f, "rd", xe, R1, R11)
+	rb := rd.Body
+	// f = (b & c) | (^b & d)
+	rb.And(R7, R3, R4)
+	rb.MovI(R10, -1)
+	rb.Xor(R8, R3, R10)
+	rb.And(R8, R8, R5)
+	rb.Or(R7, R7, R8)
+	// tmp = rotl5(a) + f + e + K + W[t]
+	rb.ShlI(R8, R2, 5)
+	rb.ShrI(R9, R2, 27)
+	rb.Or(R8, R8, R9)
+	rb.Add(R7, R7, R8)
+	rb.Add(R7, R7, R6)
+	rb.MovI(R10, 0x5A827999)
+	rb.Add(R7, R7, R10)
+	rb.MovI(R10, w)
+	rb.ShlI(R9, R1, 3)
+	rb.Add(R10, R10, R9)
+	rb.Ld(R9, R10, 0)
+	rb.Add(R7, R7, R9)
+	// e=d d=c c=rotl30(b) b=a a=tmp, masked to 32 bits.
+	rb.Mov(R6, R5)
+	rb.Mov(R5, R4)
+	rb.ShlI(R4, R3, 30)
+	rb.ShrI(R9, R3, 2)
+	rb.Or(R4, R4, R9)
+	rb.Mov(R3, R2)
+	rb.MovI(R10, 0xFFFFFFFF)
+	rb.And(R2, R7, R10)
+	rb.And(R4, R4, R10)
+	rd.Close(rb, 1)
+	// Digest update: 5 load-add-store triples.
+	re := rd.Exit
+	re.MovI(R10, digest)
+	for i, rg := range []isa.Reg{R2, R3, R4, R5, R6} {
+		off := int64(i * 8)
+		re.Ld(R9, R10, off)
+		re.Add(R9, R9, rg)
+		re.MovI(R7, 0xFFFFFFFF)
+		re.And(R9, R9, R7)
+		re.St(R10, off, R9)
+		re.Add(R14, R14, R9)
+	}
+	re.ShlI(R7, R14, 21)
+	re.Xor(R14, R14, R7)
+	blk.Close(re, 1)
+
+	k.finishFold(newLib(k), f, blk.Exit, digest, 40, R14)
+	return k.p
+}
+
+// susanMode selects which of the three susan kernels to build.
+type susanMode int
+
+const (
+	susanSmooth susanMode = iota
+	susanEdges
+	susanCorners
+)
+
+// buildSusan builds susans/susane/susanc: SUSAN image processing. Per
+// pixel, the 3x3 neighbourhood is loaded and compared against the centre
+// through a brightness threshold; smoothing stores a weighted mean per
+// pixel, edges store a response only where the USAN area is small, and
+// corners add a second, stricter test (fewer stores, more branches).
+func buildSusan(name string, seed int64, mode susanMode) func(scale int) *ir.Program {
+	return func(scale int) *ir.Program {
+		k := newKernel(name, seed)
+		side := int64(48)
+		rows := side * normScale(scale)
+		img := k.randBytes(int(rows*side) + 256)
+		out := k.p.Alloc(rows * side)
+
+		f := k.p.NewFunc("main")
+		en := f.Entry()
+		en.MovI(R0, 1) // row (skip border)
+		en.MovI(R12, 0)
+		en.MovI(R14, 0)
+		en.MovI(R13, rows-1)
+
+		ry := NewLoop(f, "row", en, R0, R13)
+		rb := ry.Body
+		rb.MovI(R1, 1) // col
+		rb.MovI(R11, side-1)
+		cx := NewLoop(f, "col", rb, R1, R11)
+		cb := cx.Body
+		// centre = img[r*side+c]
+		cb.MulI(R2, R0, side)
+		cb.Add(R2, R2, R1)
+		cb.MovI(R10, img)
+		cb.Add(R2, R2, R10)
+		cb.LdB(R3, R2, 0) // centre
+		cb.MovI(R4, 0)    // usan count
+		cb.MovI(R5, 0)    // weighted sum
+		// Unrolled 3x3 neighbourhood (8 neighbours).
+		cur := cb
+		for ni, off := range []int64{-side - 1, -side, -side + 1, -1, 1, side - 1, side, side + 1} {
+			cur.LdB(R6, R2, off)
+			cur.Sub(R7, R6, R3)
+			abs := f.NewBlock("n.abs")
+			next := f.NewBlock("n.next")
+			cur.Blt(R7, R12, abs, next)
+			abs.Sub(R7, R12, R7)
+			abs.Jmp(next)
+			inT := f.NewBlock("n.in")
+			cont := f.NewBlock("n.cont")
+			next.MovI(R8, 27) // brightness threshold
+			next.Blt(R7, R8, inT, cont)
+			inT.AddI(R4, R4, 1)
+			inT.Add(R5, R5, R6)
+			inT.Jmp(cont)
+			cur = cont
+			_ = ni
+		}
+		// Mode-specific result.
+		st := f.NewBlock("px.st")
+		skip := f.NewBlock("px.skip")
+		switch mode {
+		case susanSmooth:
+			// value = (sum + centre) / (count + 1); always stored.
+			cur.Add(R5, R5, R3)
+			cur.AddI(R4, R4, 1)
+			cur.Div(R5, R5, R4)
+			cur.Jmp(st)
+			skip.Jmp(st) // unreachable, keeps shape uniform
+		case susanEdges:
+			// Edge response where usan < 6: value = 8 - count.
+			cur.MovI(R8, 6)
+			cur.Bge(R4, R8, skip, st)
+			st.MovI(R8, 8)
+			st.Sub(R5, R8, R4)
+		case susanCorners:
+			// Corner: usan < 4 and the horizontal pair differs too.
+			chk := f.NewBlock("px.chk")
+			cur.MovI(R8, 4)
+			cur.Bge(R4, R8, skip, chk)
+			chk.LdB(R6, R2, -1)
+			chk.LdB(R7, R2, 1)
+			chk.Sub(R6, R6, R7)
+			chk.Mul(R6, R6, R6)
+			chk.MovI(R8, 100)
+			chk.Blt(R6, R8, skip, st)
+			st.MovI(R5, 255)
+		}
+		done := f.NewBlock("px.done")
+		// st: out[r*side+c] = value (byte).
+		st.MulI(R7, R0, side)
+		st.Add(R7, R7, R1)
+		st.MovI(R10, out)
+		st.Add(R7, R7, R10)
+		st.StB(R7, 0, R5)
+		st.Add(R14, R14, R5)
+		st.ShlI(R7, R14, 23)
+		st.Xor(R14, R14, R7)
+		st.Jmp(done)
+		if mode != susanSmooth {
+			skip.Jmp(done)
+		}
+		done.MovI(R11, side-1) // restore col limit
+		cx.Close(done, 1)
+		ry.Close(cx.Exit, 1)
+
+		k.finishFold(newLib(k), f, ry.Exit, out, rows*side, R14)
+		return k.p
+	}
+}

@@ -1,0 +1,345 @@
+package workloads
+
+import "repro/internal/ir"
+
+// buildTypeset is typeset: text layout. Per character: byte load, width
+// table lookup, running line width; on overflow, a justification pass
+// walks back over the line storing adjusted positions. Extremely branchy
+// with bursty stores — the shape of MiBench's typeset (lout).
+func buildTypeset(scale int) *ir.Program {
+	k := newKernel("typeset", 0x7e57)
+	chars := 4000 * normScale(scale)
+	text := k.randBytes(int(chars))
+	widths := k.words(128, func(i int) int64 { return int64(3 + i%12) })
+	linePos := k.p.Alloc(256 * 8)
+	out := k.p.Alloc(chars * 8 / 4)
+
+	f := k.p.NewFunc("main")
+	en := f.Entry()
+	en.MovI(R0, 0) // char index
+	en.MovI(R1, 0) // line width
+	en.MovI(R2, 0) // chars on line
+	en.MovI(R9, 0) // lines emitted
+	en.MovI(R12, 0)
+	en.MovI(R14, 0)
+	en.MovI(R13, chars)
+
+	ch := NewLoop(f, "ch", en, R0, R13)
+	b := ch.Body
+	b.MovI(R10, text)
+	b.Add(R10, R10, R0)
+	b.LdB(R3, R10, 0)
+	b.AndI(R3, R3, 127)
+	b.MovI(R10, widths)
+	b.ShlI(R4, R3, 3)
+	b.Add(R10, R10, R4)
+	b.Ld(R5, R10, 0) // width
+	b.Add(R1, R1, R5)
+	// record position of this char on the line
+	b.MovI(R10, linePos)
+	b.AndI(R4, R2, 255)
+	b.ShlI(R4, R4, 3)
+	b.Add(R10, R10, R4)
+	b.St(R10, 0, R1)
+	b.AddI(R2, R2, 1)
+	// line overflow?
+	wrap := f.NewBlock("ch.wrap")
+	cont := f.NewBlock("ch.cont")
+	b.MovI(R8, 420)
+	b.Blt(R1, R8, cont, wrap)
+	// justification: slack distributed over the line's positions
+	wrap.Sub(R6, R1, R8) // slack
+	wrap.MovI(R3, 0)
+	jl := NewLoop(f, "just", wrap, R3, R2)
+	jb := jl.Body
+	jb.MovI(R10, linePos)
+	jb.AndI(R4, R3, 255)
+	jb.ShlI(R4, R4, 3)
+	jb.Add(R10, R10, R4)
+	jb.Ld(R5, R10, 0)
+	jb.Mul(R7, R6, R3)
+	jb.Div(R7, R7, R2)
+	jb.Add(R5, R5, R7)
+	jb.St(R10, 0, R5)
+	jb.Add(R14, R14, R5)
+	jl.Close(jb, 1)
+	je := jl.Exit
+	// emit line summary word
+	je.MovI(R10, out)
+	je.AndI(R4, R9, 511)
+	je.ShlI(R4, R4, 3)
+	je.Add(R10, R10, R4)
+	je.ShlI(R5, R2, 20)
+	je.Or(R5, R5, R1)
+	je.St(R10, 0, R5)
+	je.ShlI(R7, R14, 5)
+	je.Xor(R14, R14, R7)
+	je.AddI(R9, R9, 1)
+	je.MovI(R1, 0)
+	je.MovI(R2, 0)
+	je.Jmp(cont)
+	ch.Close(cont, 1)
+
+	k.finishFold(newLib(k), f, ch.Exit, out, chars*2, R14)
+	return k.p
+}
+
+// buildBlowfish builds blowfishenc/blowfishdec: a Feistel cipher with
+// four 256-entry S-boxes — per 8-byte block, 16 rounds of S-box loads,
+// adds and xors, then two ciphertext stores. Table-lookup dominated, like
+// the original.
+func buildBlowfish(name string, seed int64, decode bool) func(scale int) *ir.Program {
+	return func(scale int) *ir.Program {
+		k := newKernel(name, seed)
+		blocks := 380 * normScale(scale)
+		sbox := k.randWords(4*128, 1<<32)
+		parr := k.randWords(18, 1<<32)
+		msg := k.randWords(int(blocks)*2, 1<<32)
+		out := k.p.Alloc(blocks * 16)
+
+		f := k.p.NewFunc("main")
+		en := f.Entry()
+		en.MovI(R0, 0)
+		en.MovI(R12, 0)
+		en.MovI(R14, 0)
+		en.MovI(R13, blocks)
+
+		blk := NewLoop(f, "blk", en, R0, R13)
+		b := blk.Body
+		b.MovI(R10, msg)
+		b.ShlI(R4, R0, 4)
+		b.Add(R10, R10, R4)
+		b.Ld(R1, R10, 0) // L
+		b.Ld(R2, R10, 8) // R
+		b.MovI(R3, 0)    // round
+		b.MovI(R11, 16)
+		rnd := NewLoop(f, "round", b, R3, R11)
+		rb := rnd.Body
+		// L ^= P[round] (decode walks P backwards)
+		rb.MovI(R10, parr)
+		if decode {
+			rb.MovI(R5, 17)
+			rb.Sub(R5, R5, R3)
+			rb.ShlI(R5, R5, 3)
+		} else {
+			rb.ShlI(R5, R3, 3)
+		}
+		rb.Add(R10, R10, R5)
+		rb.Ld(R5, R10, 0)
+		rb.Xor(R1, R1, R5)
+		// F(L): four S-box lookups combined
+		rb.ShrI(R5, R1, 24)
+		rb.AndI(R5, R5, 127)
+		rb.MovI(R10, sbox)
+		rb.ShlI(R5, R5, 3)
+		rb.Add(R10, R10, R5)
+		rb.Ld(R6, R10, 0)
+		rb.ShrI(R5, R1, 16)
+		rb.AndI(R5, R5, 127)
+		rb.MovI(R10, sbox+128*8)
+		rb.ShlI(R5, R5, 3)
+		rb.Add(R10, R10, R5)
+		rb.Ld(R7, R10, 0)
+		rb.Add(R6, R6, R7)
+		rb.ShrI(R5, R1, 8)
+		rb.AndI(R5, R5, 127)
+		rb.MovI(R10, sbox+256*8)
+		rb.ShlI(R5, R5, 3)
+		rb.Add(R10, R10, R5)
+		rb.Ld(R7, R10, 0)
+		rb.Xor(R6, R6, R7)
+		rb.AndI(R5, R1, 127)
+		rb.MovI(R10, sbox+384*8)
+		rb.ShlI(R5, R5, 3)
+		rb.Add(R10, R10, R5)
+		rb.Ld(R7, R10, 0)
+		rb.Add(R6, R6, R7)
+		rb.MovI(R10, 0xFFFFFFFF)
+		rb.And(R6, R6, R10)
+		// R ^= F(L); swap
+		rb.Xor(R2, R2, R6)
+		rb.Mov(R5, R1)
+		rb.Mov(R1, R2)
+		rb.Mov(R2, R5)
+		rnd.Close(rb, 1)
+		re := rnd.Exit
+		re.MovI(R10, out)
+		re.ShlI(R4, R0, 4)
+		re.Add(R10, R10, R4)
+		re.St(R10, 0, R1)
+		re.St(R10, 8, R2)
+		re.Add(R14, R14, R1)
+		re.Xor(R14, R14, R2)
+		re.ShlI(R7, R14, 7)
+		re.Xor(R14, R14, R7)
+		blk.Close(re, 1)
+
+		k.finishFold(newLib(k), f, blk.Exit, out, blocks*16, R14)
+		return k.p
+	}
+}
+
+// buildPatricia is patricia: a binary trie over 32-bit keys stored as a
+// node array (bit index, left, right, key). Lookups chase pointers
+// (dependent loads, branches); inserts allocate nodes with a handful of
+// stores. The most irregular memory access pattern in the suite.
+func buildPatricia(scale int) *ir.Program {
+	k := newKernel("patricia", 0x9a72)
+	ops := 1200 * normScale(scale)
+	keys := k.randWords(int(ops), 1<<32)
+	const nodeBytes = 32 // bit, left, right, key
+	nodes := k.p.Alloc(4096 * nodeBytes)
+	nextFree := k.p.AllocWords([]int64{1}) // node 0 = root, preallocated
+	hits := k.p.Alloc(8)
+
+	f := k.p.NewFunc("main")
+	en := f.Entry()
+	en.MovI(R0, 0)
+	en.MovI(R12, 0)
+	en.MovI(R14, 0)
+	en.MovI(R13, ops)
+
+	op := NewLoop(f, "op", en, R0, R13)
+	b := op.Body
+	b.MovI(R10, keys)
+	b.ShlI(R4, R0, 3)
+	b.Add(R10, R10, R4)
+	b.Ld(R1, R10, 0) // key
+	// walk: node = root; up to 32 steps following key bits
+	b.MovI(R2, 0) // node index
+	b.MovI(R3, 0) // depth
+	wh := f.NewBlock("walk.head")
+	wb := f.NewBlock("walk.body")
+	wx := f.NewBlock("walk.exit")
+	b.Jmp(wh)
+	wh.MovI(R10, 24)
+	wh.Bge(R3, R10, wx, wb)
+	// load node.key; if match -> exit; else follow bit
+	wb.MulI(R5, R2, nodeBytes)
+	wb.MovI(R10, nodes)
+	wb.Add(R5, R5, R10)
+	wb.Ld(R6, R5, 24) // node.key
+	found := f.NewBlock("walk.found")
+	follow := f.NewBlock("walk.follow")
+	wb.Beq(R6, R1, found, follow)
+	// child = (key >> depth) & 1 ? right : left
+	follow.Shr(R7, R1, R3)
+	follow.AndI(R7, R7, 1)
+	follow.ShlI(R7, R7, 3)
+	follow.Add(R7, R7, R5)
+	follow.Ld(R8, R7, 8) // left at +8, right at +16
+	miss := f.NewBlock("walk.miss")
+	desc := f.NewBlock("walk.desc")
+	follow.Beq(R8, R12, miss, desc)
+	desc.Mov(R2, R8)
+	desc.AddI(R3, R3, 1)
+	desc.Jmp(wh)
+	// miss: insert a node here (4 stores) then exit
+	miss.MovI(R10, nextFree)
+	miss.Ld(R9, R10, 0)
+	full := f.NewBlock("walk.full")
+	ins := f.NewBlock("walk.ins")
+	miss.MovI(R6, 4095)
+	miss.Bge(R9, R6, full, ins)
+	ins.AddI(R6, R9, 1)
+	ins.St(R10, 0, R6) // nextFree++
+	ins.St(R7, 8, R9)  // parent child pointer
+	ins.MulI(R5, R9, nodeBytes)
+	ins.MovI(R10, nodes)
+	ins.Add(R5, R5, R10)
+	ins.St(R5, 0, R3)  // bit
+	ins.St(R5, 8, R12) // left
+	ins.St(R5, 16, R12)
+	ins.St(R5, 24, R1) // key
+	ins.Jmp(wx)
+	full.Jmp(wx)
+	// found: count a hit (load-modify-store)
+	found.MovI(R10, hits)
+	found.Ld(R6, R10, 0)
+	found.AddI(R6, R6, 1)
+	found.St(R10, 0, R6)
+	found.Jmp(wx)
+	wx.Add(R14, R14, R2)
+	wx.ShlI(R7, R14, 9)
+	wx.Xor(R14, R14, R7)
+	op.Close(wx, 1)
+
+	k.finishFold(newLib(k), f, op.Exit, nodes, 4096*nodeBytes, R14)
+	return k.p
+}
+
+// buildRijndael builds rijndaelenc/rijndaeldec: AES-style table rounds —
+// per 16-byte block, 10 rounds of four T-table lookups with byte
+// extraction and xors, then four output stores. Deliberately small inputs
+// (the paper notes rijndael is where SweepCache's extra regions hurt
+// most, precisely because the program is short).
+func buildRijndael(name string, seed int64, decode bool) func(scale int) *ir.Program {
+	return func(scale int) *ir.Program {
+		k := newKernel(name, seed)
+		blocks := 280 * normScale(scale)
+		ttab := k.randWords(256, 1<<32)
+		rkey := k.randWords(44, 1<<32)
+		msg := k.randWords(int(blocks)*2, 1<<32)
+		out := k.p.Alloc(blocks * 16)
+
+		f := k.p.NewFunc("main")
+		en := f.Entry()
+		en.MovI(R0, 0)
+		en.MovI(R12, 0)
+		en.MovI(R14, 0)
+		en.MovI(R13, blocks)
+
+		blk := NewLoop(f, "blk", en, R0, R13)
+		b := blk.Body
+		b.MovI(R10, msg)
+		b.ShlI(R4, R0, 4)
+		b.Add(R10, R10, R4)
+		b.Ld(R1, R10, 0)
+		b.Ld(R2, R10, 8)
+		b.MovI(R3, 0)
+		b.MovI(R11, 10)
+		rnd := NewLoop(f, "round", b, R3, R11)
+		rb := rnd.Body
+		// round key
+		rb.MovI(R10, rkey)
+		rb.ShlI(R5, R3, 3)
+		rb.Add(R10, R10, R5)
+		rb.Ld(R5, R10, 0)
+		rb.Xor(R1, R1, R5)
+		// 4 T-table lookups from bytes of R1 (decode reverses byte order)
+		rb.MovI(R6, 0)
+		for i := 0; i < 4; i++ {
+			sh := int64(i * 8)
+			if decode {
+				sh = int64((3 - i) * 8)
+			}
+			rb.ShrI(R5, R1, sh)
+			rb.AndI(R5, R5, 255)
+			rb.MovI(R10, ttab)
+			rb.ShlI(R5, R5, 3)
+			rb.Add(R10, R10, R5)
+			rb.Ld(R7, R10, 0)
+			rb.ShlI(R6, R6, 8)
+			rb.Xor(R6, R6, R7)
+		}
+		rb.Xor(R2, R2, R6)
+		rb.Mov(R5, R1)
+		rb.Mov(R1, R2)
+		rb.Mov(R2, R5)
+		rnd.Close(rb, 1)
+		re := rnd.Exit
+		re.MovI(R10, out)
+		re.ShlI(R4, R0, 4)
+		re.Add(R10, R10, R4)
+		re.St(R10, 0, R1)
+		re.St(R10, 8, R2)
+		re.Add(R14, R14, R1)
+		re.Xor(R14, R14, R2)
+		re.ShlI(R7, R14, 15)
+		re.Xor(R14, R14, R7)
+		blk.Close(re, 1)
+
+		k.finishFold(newLib(k), f, blk.Exit, out, blocks*16, R14)
+		return k.p
+	}
+}

@@ -1,0 +1,328 @@
+package workloads
+
+import "repro/internal/ir"
+
+// buildDijkstra is dijkstra: single-source shortest paths over a dense
+// adjacency matrix — repeated min-scans over the distance array (loads,
+// compares, branches) with sparse relaxation stores. Memory access is
+// irregular relative to the streaming media kernels.
+func buildDijkstra(scale int) *ir.Program {
+	k := newKernel("dijkstra", 0xd13)
+	n := int64(40)
+	sources := 4 * normScale(scale)
+	adjv := make([]int64, n*n)
+	for i := range adjv {
+		adjv[i] = k.rng.Int63n(100) + 1
+	}
+	adj := k.p.AllocWords(adjv)
+	dist := k.p.Alloc(n * 8)
+	visited := k.p.Alloc(n * 8)
+	const inf = 1 << 40
+
+	f := k.p.NewFunc("main")
+	en := f.Entry()
+	en.MovI(R0, 0) // source counter
+	en.MovI(R12, 0)
+	en.MovI(R14, 0)
+	en.MovI(R13, sources)
+
+	rlib := newLib(k)
+	src := NewLoop(f, "src", en, R0, R13)
+	sb := src.Body
+	// Per-source initialization goes through the runtime library — the
+	// realistic pattern where the hot relaxation loops are open-coded but
+	// the setup calls memset. The library clobbers r0..r7, so the outer
+	// counter is parked in r8 (free until the min-scan below).
+	sb.Mov(R8, R0)
+	c1 := callMemset(rlib, f, sb, "init.dist", dist, inf, n)
+	c2 := callMemset(rlib, f, c1, "init.vis", visited, 0, n)
+	c2.Mov(R0, R8)
+	c2.MovI(R12, 0) // re-establish the zero register after the calls
+	ie := c2
+	ie.MovI(R10, dist)
+	ie.AndI(R4, R0, 31)
+	ie.ShlI(R4, R4, 3)
+	ie.Add(R10, R10, R4)
+	ie.St(R10, 0, R12) // dist[source]=0
+
+	// n rounds: pick min unvisited, mark, relax.
+	ie.MovI(R1, 0)
+	ie.MovI(R11, n)
+	rounds := NewLoop(f, "round", ie, R1, R11)
+	rb := rounds.Body
+	// min scan
+	rb.MovI(R2, 0)     // j
+	rb.MovI(R8, inf*2) // best dist
+	rb.MovI(R9, 0)     // best index
+	rb.MovI(R10, n)
+	scan := NewLoop(f, "scan", rb, R2, R10)
+	scb := scan.Body
+	scb.MovI(R10, visited)
+	scb.ShlI(R4, R2, 3)
+	scb.Add(R10, R10, R4)
+	scb.Ld(R5, R10, 0)
+	seen := f.NewBlock("scan.seen")
+	chk := f.NewBlock("scan.chk")
+	scb.Bne(R5, R12, seen, chk)
+	chk.MovI(R10, dist)
+	chk.Add(R10, R10, R4)
+	chk.Ld(R5, R10, 0)
+	better := f.NewBlock("scan.better")
+	cont := f.NewBlock("scan.cont")
+	chk.Bge(R5, R8, cont, better)
+	better.Mov(R8, R5)
+	better.Mov(R9, R2)
+	better.Jmp(cont)
+	seen.Jmp(cont)
+	cont.MovI(R10, n) // restore scan limit
+	scan.Close(cont, 1)
+	// mark best visited
+	se := scan.Exit
+	se.MovI(R10, visited)
+	se.ShlI(R4, R9, 3)
+	se.Add(R10, R10, R4)
+	se.MovI(R5, 1)
+	se.St(R10, 0, R5)
+	// relax neighbours of best
+	se.MovI(R2, 0)
+	se.MovI(R11, n)
+	rel := NewLoop(f, "relax", se, R2, R11)
+	lb := rel.Body
+	lb.MulI(R4, R9, n*8)
+	lb.ShlI(R5, R2, 3)
+	lb.Add(R4, R4, R5)
+	lb.MovI(R10, adj)
+	lb.Add(R4, R4, R10)
+	lb.Ld(R3, R4, 0) // weight
+	lb.Add(R3, R3, R8)
+	lb.MovI(R10, dist)
+	lb.Add(R10, R10, R5)
+	lb.Ld(R6, R10, 0)
+	upd := f.NewBlock("relax.upd")
+	rcont := f.NewBlock("relax.cont")
+	lb.Bge(R3, R6, rcont, upd)
+	upd.St(R10, 0, R3)
+	upd.Jmp(rcont)
+	rcont.MovI(R11, n) // restore relax limit
+	rel.Close(rcont, 1)
+	rounds.Close(rel.Exit, 1)
+
+	// checksum distances
+	oe := rounds.Exit
+	oe.MovI(R2, 0)
+	oe.MovI(R11, n)
+	sum := NewLoop(f, "sum", oe, R2, R11)
+	mb := sum.Body
+	mb.MovI(R10, dist)
+	mb.ShlI(R4, R2, 3)
+	mb.Add(R10, R10, R4)
+	mb.Ld(R3, R10, 0)
+	mb.Add(R14, R14, R3)
+	mb.ShlI(R4, R14, 3)
+	mb.Xor(R14, R14, R4)
+	sum.Close(mb, 1)
+	src.Close(sum.Exit, 1)
+
+	k.finishFold(newLib(k), f, src.Exit, dist, n*8, R14)
+	return k.p
+}
+
+// buildBasicmath is basicmath: integer square roots by Newton iteration,
+// gcds by Euclid, and cubic-ish polynomial evaluation — ALU-dominated with
+// only a result store per item, the most compute-bound kernel in the
+// suite.
+func buildBasicmath(scale int) *ir.Program {
+	k := newKernel("basicmath", 0xba51)
+	items := 700 * normScale(scale)
+	in := k.randWords(int(items), 1<<40)
+	out := k.p.Alloc(items * 8)
+
+	f := k.p.NewFunc("main")
+	en := f.Entry()
+	en.MovI(R0, 0)
+	en.MovI(R12, 0)
+	en.MovI(R14, 0)
+	en.MovI(R13, items)
+
+	it := NewLoop(f, "item", en, R0, R13)
+	b := it.Body
+	b.MovI(R10, in)
+	b.ShlI(R4, R0, 3)
+	b.Add(R10, R10, R4)
+	b.Ld(R3, R10, 0) // x
+	// isqrt by 12 Newton steps: g = (g + x/g) / 2, g0 = x>>20 + 1
+	b.SarI(R1, R3, 20)
+	b.AddI(R1, R1, 1)
+	b.MovI(R2, 0)
+	b.MovI(R11, 12)
+	nw := NewLoop(f, "newton", b, R2, R11)
+	nb := nw.Body
+	nb.Div(R5, R3, R1)
+	nb.Add(R1, R1, R5)
+	nb.SarI(R1, R1, 1)
+	nw.Close(nb, 1)
+	// gcd(x, g) by Euclid (data-dependent loop).
+	ne := nw.Exit
+	ne.Mov(R5, R3)
+	ne.Mov(R6, R1)
+	ne.AddI(R6, R6, 1) // avoid zero
+	gh := f.NewBlock("gcd.head")
+	gb := f.NewBlock("gcd.body")
+	gx := f.NewBlock("gcd.exit")
+	ne.Jmp(gh)
+	gh.Beq(R6, R12, gx, gb)
+	gb.Rem(R7, R5, R6)
+	gb.Mov(R5, R6)
+	gb.Mov(R6, R7)
+	gb.Jmp(gh)
+	// poly = ((x*3 + g)*x + gcd) & mask
+	gx.MulI(R7, R3, 3)
+	gx.Add(R7, R7, R1)
+	gx.Mul(R7, R7, R3)
+	gx.Add(R7, R7, R5)
+	gx.MovI(R10, (1<<45)-1)
+	gx.And(R7, R7, R10)
+	gx.MovI(R10, out)
+	gx.ShlI(R4, R0, 3)
+	gx.Add(R10, R10, R4)
+	gx.St(R10, 0, R7)
+	gx.Add(R14, R14, R7)
+	gx.ShlI(R4, R14, 27)
+	gx.Xor(R14, R14, R4)
+	it.Close(gx, 1)
+
+	k.finishFold(newLib(k), f, it.Exit, out, items*8, R14)
+	return k.p
+}
+
+// buildFFT builds fft/ifft: 256-point in-place fixed-point radix-2 FFT —
+// bit-reversal permutation (irregular load/store pairs), then log2(n)
+// butterfly stages with twiddle-table lookups and paired stores. ifft uses
+// conjugated twiddles and a final scaling pass.
+func buildFFT(name string, inverse bool) func(scale int) *ir.Program {
+	return func(scale int) *ir.Program {
+		var seed int64 = 0xff7
+		if inverse {
+			seed = 0x1ff7
+		}
+		k := newKernel(name, seed)
+		const n = 128
+		passes := 6 * normScale(scale)
+		re := k.randWords(n, 1<<15)
+		im := k.randWords(n, 1<<15)
+		// Quarter-wave-ish integer twiddle table.
+		tw := k.words(n, func(i int) int64 {
+			v := int64((i*7919)%32768) - 16384
+			if inverse {
+				v = -v
+			}
+			return v
+		})
+		brev := k.words(n, func(i int) int64 {
+			r := 0
+			for b := 0; b < 7; b++ {
+				r = r<<1 | (i>>b)&1
+			}
+			return int64(r)
+		})
+
+		f := k.p.NewFunc("main")
+		en := f.Entry()
+		en.MovI(R0, 0)
+		en.MovI(R12, 0)
+		en.MovI(R14, 0)
+		en.MovI(R13, passes)
+
+		ps := NewLoop(f, "pass", en, R0, R13)
+		pb := ps.Body
+		// Bit-reversal: swap re[i] <-> re[brev[i]] when i < brev[i].
+		pb.MovI(R1, 0)
+		pb.MovI(R11, n)
+		br := NewLoop(f, "brev", pb, R1, R11)
+		bb := br.Body
+		bb.MovI(R10, brev)
+		bb.ShlI(R4, R1, 3)
+		bb.Add(R10, R10, R4)
+		bb.Ld(R2, R10, 0) // j
+		swap := f.NewBlock("brev.swap")
+		cont := f.NewBlock("brev.cont")
+		bb.Bge(R1, R2, cont, swap)
+		swap.MovI(R10, re)
+		swap.Add(R5, R10, R4)
+		swap.ShlI(R6, R2, 3)
+		swap.Add(R6, R10, R6)
+		swap.Ld(R7, R5, 0)
+		swap.Ld(R8, R6, 0)
+		swap.St(R5, 0, R8)
+		swap.St(R6, 0, R7)
+		swap.Jmp(cont)
+		br.Close(cont, 1)
+		// Butterfly stages: stride doubles each stage.
+		be := br.Exit
+		be.MovI(R1, 1) // stride s
+		sh := f.NewBlock("stage.head")
+		sb := f.NewBlock("stage.body")
+		sx := f.NewBlock("stage.exit")
+		be.Jmp(sh)
+		sh.MovI(R10, n)
+		sh.Bge(R1, R10, sx, sb)
+		// inner: for i in 0..n step 2s: for j in 0..s: butterfly(i+j, i+j+s)
+		sb.MovI(R2, 0) // i
+		ih := f.NewBlock("bf.head")
+		ibd := f.NewBlock("bf.body")
+		ix := f.NewBlock("bf.exit")
+		sb.Jmp(ih)
+		ih.MovI(R10, n)
+		ih.Bge(R2, R10, ix, ibd)
+		// butterfly on pair (i, i+s): twiddle index = (i*s) & 255
+		ibd.Mul(R3, R2, R1)
+		ibd.AndI(R3, R3, n-1)
+		ibd.MovI(R10, tw)
+		ibd.ShlI(R3, R3, 3)
+		ibd.Add(R10, R10, R3)
+		ibd.Ld(R3, R10, 0) // w
+		ibd.MovI(R10, re)
+		ibd.ShlI(R4, R2, 3)
+		ibd.Add(R5, R10, R4)
+		ibd.ShlI(R6, R1, 3)
+		ibd.Add(R6, R5, R6) // &re[i+s]
+		ibd.Ld(R7, R5, 0)   // a
+		ibd.Ld(R8, R6, 0)   // b
+		ibd.Mul(R9, R8, R3)
+		ibd.SarI(R9, R9, 14) // b*w scaled
+		ibd.Add(R10, R7, R9)
+		ibd.St(R5, 0, R10)
+		ibd.Sub(R10, R7, R9)
+		ibd.St(R6, 0, R10)
+		// imaginary part, same shape
+		ibd.MovI(R10, im)
+		ibd.Add(R5, R10, R4)
+		ibd.ShlI(R6, R1, 3)
+		ibd.Add(R6, R5, R6)
+		ibd.Ld(R7, R5, 0)
+		ibd.Ld(R8, R6, 0)
+		ibd.Mul(R9, R8, R3)
+		ibd.SarI(R9, R9, 14)
+		ibd.Add(R10, R7, R9)
+		ibd.St(R5, 0, R10)
+		ibd.Sub(R10, R7, R9)
+		ibd.St(R6, 0, R10)
+		// i += 2s, but ensure pair stays in range: i = i + max(2s, 2)
+		ibd.ShlI(R4, R1, 1)
+		ibd.Add(R2, R2, R4)
+		ibd.Jmp(ih)
+		ix.ShlI(R1, R1, 1)
+		ix.Jmp(sh)
+		// Accumulate checksum over a sample of outputs.
+		sx.MovI(R10, re)
+		sx.Ld(R3, R10, 8*17)
+		sx.Add(R14, R14, R3)
+		sx.MovI(R10, im)
+		sx.Ld(R3, R10, 8*33)
+		sx.Xor(R14, R14, R3)
+		ps.Close(sx, 1)
+
+		k.finishFold(newLib(k), f, ps.Exit, re, n*8, R14)
+		return k.p
+	}
+}

@@ -1,0 +1,33 @@
+package workloads
+
+// The single init keeps registration in the paper's presentation order
+// (Figure 5's x-axis): MediaBench, then MiBench.
+func init() {
+	register("adpcmdec", "mediabench", buildADPCMDec)
+	register("adpcmenc", "mediabench", buildADPCMEnc)
+	register("g721dec", "mediabench", buildG721("g721dec", 0x6721d, true))
+	register("g721enc", "mediabench", buildG721("g721enc", 0x6721e, false))
+	register("gsmdec", "mediabench", buildGSM("gsmdec", 0x65d, true))
+	register("gsmenc", "mediabench", buildGSM("gsmenc", 0x65e, false))
+	register("jpegdec", "mediabench", buildJPEGDec)
+	register("jpegenc", "mediabench", buildJPEGEnc)
+	register("mpeg2dec", "mediabench", buildMPEG2Dec)
+	register("mpeg2enc", "mediabench", buildMPEG2Enc)
+	register("pegwitdec", "mediabench", buildPegwit("pegwitdec", 0x9e6d, true))
+	register("pegwitenc", "mediabench", buildPegwit("pegwitenc", 0x9e6e, false))
+	register("sha", "mediabench", buildSHA)
+	register("susans", "mediabench", buildSusan("susans", 0x5005, susanSmooth))
+	register("susane", "mediabench", buildSusan("susane", 0x500e, susanEdges))
+	register("susanc", "mediabench", buildSusan("susanc", 0x500c, susanCorners))
+
+	register("dijkstra", "mibench", buildDijkstra)
+	register("basicmath", "mibench", buildBasicmath)
+	register("fft", "mibench", buildFFT("fft", false))
+	register("ifft", "mibench", buildFFT("ifft", true))
+	register("typeset", "mibench", buildTypeset)
+	register("blowfishdec", "mibench", buildBlowfish("blowfishdec", 0xbf0d, true))
+	register("blowfishenc", "mibench", buildBlowfish("blowfishenc", 0xbf0e, false))
+	register("patricia", "mibench", buildPatricia)
+	register("rijndaeldec", "mibench", buildRijndael("rijndaeldec", 0xae5d, true))
+	register("rijndaelenc", "mibench", buildRijndael("rijndaelenc", 0xae5e, false))
+}
