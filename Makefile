@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test vet bench bench-telemetry check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The full evaluation-in-miniature: one benchmark per paper table/figure.
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+# Tracer overhead: disabled vs discard-sink vs JSONL-encoding runs.
+bench-telemetry:
+	$(GO) test -run xxx -bench BenchmarkTelemetry -benchmem .
+
+check: build vet test
+
+clean:
+	$(GO) clean ./...
+	rm -f out.jsonl out.trace.json *.cpu.pb.gz *.mem.pb.gz

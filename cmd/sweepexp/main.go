@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/exp"
+	"repro/internal/telemetry"
 )
 
 type experiment struct {
@@ -117,6 +118,9 @@ func main() {
 	quick := flag.Bool("quick", false, "run the reduced workload subset")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	seed := flag.Int64("seed", 1, "power-trace seed")
+	metricsFile := flag.String("metrics", "", "write metrics aggregated across every simulated run to this file ('-' = stdout)")
+	traceDir := flag.String("tracedir", "", "record one JSONL telemetry stream per simulated run into this directory")
+	pprofPrefix := flag.String("pprof", "", "write <prefix>.cpu.pb.gz and <prefix>.mem.pb.gz profiles")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
 
@@ -139,6 +143,26 @@ func main() {
 	ctx.Scale = *scale
 	ctx.Seed = *seed
 	ctx.Out = os.Stdout
+	if *metricsFile != "" {
+		ctx.Metrics = telemetry.NewSnapshot()
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "sweepexp: %v\n", err)
+			os.Exit(1)
+		}
+		ctx.TraceDir = *traceDir
+	}
+
+	var stopProfiles func() error
+	if *pprofPrefix != "" {
+		stop, err := telemetry.StartProfiles(*pprofPrefix)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweepexp: %v\n", err)
+			os.Exit(1)
+		}
+		stopProfiles = stop
+	}
 
 	ran := false
 	for _, e := range experiments {
@@ -153,5 +177,28 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "sweepexp: unknown experiment %q (use -list)\n", *name)
 		os.Exit(1)
+	}
+
+	if stopProfiles != nil {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(os.Stderr, "sweepexp: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if ctx.Metrics != nil {
+		out := os.Stdout
+		if *metricsFile != "-" {
+			f, err := os.Create(*metricsFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sweepexp: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := ctx.Metrics.WriteText(out); err != nil {
+			fmt.Fprintf(os.Stderr, "sweepexp: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -6,7 +6,16 @@
 //
 //	sweepsim -bench sha -scheme sweep-eb -trace rfoffice
 //	sweepsim -bench dijkstra -scheme nvp -trace none
+//	sweepsim -bench sha -scheme sweep-eb -tracefile out.jsonl -chrometrace out.trace.json
+//	sweepsim -bench sha -metrics - -pprof prof
 //	sweepsim -list
+//
+// -tracefile records the run's telemetry events as JSONL (one event per
+// line; see docs/TELEMETRY.md); -chrometrace records the same stream in
+// Chrome trace_event format, loadable in Perfetto or chrome://tracing.
+// -metrics writes the run's metrics snapshot as text ("-" for stdout).
+// -pprof <prefix> writes <prefix>.cpu.pb.gz and <prefix>.mem.pb.gz for
+// `go tool pprof`.
 package main
 
 import (
@@ -19,6 +28,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -49,6 +59,10 @@ func main() {
 	scale := flag.Int("scale", 1, "workload scale")
 	capNF := flag.Float64("cap", 470, "capacitor size in nF")
 	cacheKB := flag.Int("cache", 4, "cache size in kB")
+	tracefile := flag.String("tracefile", "", "write telemetry events as JSONL to this file")
+	chrometrace := flag.String("chrometrace", "", "write telemetry events as a Chrome/Perfetto trace to this file")
+	metricsFile := flag.String("metrics", "", "write the metrics snapshot as text to this file ('-' = stdout)")
+	pprofPrefix := flag.String("pprof", "", "write <prefix>.cpu.pb.gz and <prefix>.mem.pb.gz profiles")
 	list := flag.Bool("list", false, "list workloads and schemes")
 	flag.Parse()
 
@@ -80,8 +94,49 @@ func main() {
 	p.CapacitorF = *capNF * 1e-9
 	p.CacheSize = *cacheKB << 10
 
+	if *pprofPrefix != "" {
+		stop, err := telemetry.StartProfiles(*pprofPrefix)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fail("%v", err)
+			}
+		}()
+	}
+
+	var sinks telemetry.MultiSink
+	var sinkFiles []*os.File
+	addSink := func(path string, mk func(f *os.File) telemetry.Sink) {
+		f, err := os.Create(path)
+		if err != nil {
+			fail("%v", err)
+		}
+		sinkFiles = append(sinkFiles, f)
+		sinks = append(sinks, mk(f))
+	}
+	if *tracefile != "" {
+		addSink(*tracefile, func(f *os.File) telemetry.Sink { return telemetry.NewJSONLSink(f) })
+	}
+	if *chrometrace != "" {
+		addSink(*chrometrace, func(f *os.File) telemetry.Sink { return telemetry.NewChromeSink(f) })
+	}
+	var tr *telemetry.Tracer
+	if len(sinks) > 0 {
+		tr = telemetry.NewTracer(sinks, 0)
+	}
+
 	build := func() *ir.Program { return w.Build(*scale) }
-	res, err := core.Run(build, kind, p, src)
+	res, err := core.RunTraced(build, kind, p, src, tr)
+	if cerr := tr.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	for _, f := range sinkFiles {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		fail("%v", err)
 	}
@@ -91,34 +146,25 @@ func main() {
 		fmt.Printf(" under %s (seed %d)", *traceName, *seed)
 	}
 	fmt.Printf("\n\n")
-	fmt.Printf("wall clock     %12.3f ms   (run %.3f ms, recharge %.3f ms)\n",
-		float64(res.TimeNs)/1e6, float64(res.RunNs)/1e6, float64(res.ChargeNs)/1e6)
-	fmt.Printf("instructions   %12d      (loads %d, stores %d, ckpt %d)\n",
-		res.Counts.Executed, res.Counts.Loads, res.Counts.Stores, res.Counts.CkptStores)
-	fmt.Printf("power outages  %12d\n", res.Outages)
-	led := res.Ledger
-	fmt.Printf("energy         %12.3f uJ   (compute %.3f, nvm %.3f, persist %.3f,\n",
-		led.Total()*1e6, led.Compute*1e6, led.NVM*1e6, led.Persist*1e6)
-	fmt.Printf("                                  backup %.3f, restore %.3f, sleep %.3f)\n",
-		led.Backup*1e6, led.Restore*1e6, led.Sleep*1e6)
-	if res.CacheHits+res.CacheMisses > 0 {
-		fmt.Printf("cache          %11.2f%% miss  (%d hits, %d misses, %d dirty evictions)\n",
-			100*res.MissRate(), res.CacheHits, res.CacheMisses, res.DirtyEvictions)
-	}
-	fmt.Printf("NVM traffic    %12d word reads, %d word writes, %d line reads, %d line writes\n",
-		res.NVMReads, res.NVMWrites, res.NVMLineReads, res.NVMLineWrites)
-	if res.Arch.RegionsExecuted > 0 {
-		fmt.Printf("regions        %12d      (mean %.1f insts, %.1f stores; parallelism eff %.1f%%)\n",
-			res.Arch.RegionsExecuted, res.RegionSizes.Mean(),
-			res.Arch.StoresPerRegion.Mean(), 100*res.ParallelismEfficiency())
-		fmt.Printf("buffer search  %12d      (%d bypassed by empty-bit, %d served misses)\n",
-			res.Arch.BufferSearches, res.Arch.BufferBypasses, res.Arch.BufferHits)
-	}
-	if res.Arch.BackupEvents > 0 {
-		fmt.Printf("JIT events     %12d backups, %d restores, %d lines backed up\n",
-			res.Arch.BackupEvents, res.Arch.RestoreEvents, res.Arch.LinesBackedUp)
-	}
+	fmt.Print(res)
 	fmt.Printf("checksum       %#x\n", res.NVM.PeekWord(workloads.CheckAddr()))
+
+	if *metricsFile != "" {
+		out := os.Stdout
+		if *metricsFile != "-" {
+			f, err := os.Create(*metricsFile)
+			if err != nil {
+				fail("%v", err)
+			}
+			defer f.Close()
+			out = f
+		} else {
+			fmt.Println()
+		}
+		if err := res.Metrics().WriteText(out); err != nil {
+			fail("%v", err)
+		}
+	}
 }
 
 func fail(format string, args ...any) {

@@ -1,0 +1,177 @@
+// Command sweeptrace filters and summarises a recorded JSONL telemetry
+// stream (see docs/TELEMETRY.md for the schema).
+//
+// Usage:
+//
+//	sweeptrace out.jsonl                    # event counts + span summary
+//	sweeptrace -sweeps 10 out.jsonl         # the 10 longest persist sweeps
+//	sweeptrace -outages out.jsonl           # per-outage cycle breakdown
+//	sweeptrace -chrome out.trace.json out.jsonl   # convert for Perfetto
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	sweeps := flag.Int("sweeps", 0, "print the N longest persist-buffer sweeps")
+	outages := flag.Bool("outages", false, "print a per-outage cycle breakdown")
+	chrome := flag.String("chrome", "", "convert the stream to a Chrome/Perfetto trace file")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fail("usage: sweeptrace [flags] <trace.jsonl>")
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fail("%v", err)
+	}
+	events, err := telemetry.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		fail("%v", err)
+	}
+
+	switch {
+	case *chrome != "":
+		out, err := os.Create(*chrome)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := telemetry.WriteChromeTrace(out, events); err != nil {
+			fail("%v", err)
+		}
+		if err := out.Close(); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("wrote %d events to %s (load in Perfetto or chrome://tracing)\n", len(events), *chrome)
+	case *sweeps > 0:
+		printLongestSweeps(events, *sweeps)
+	case *outages:
+		printOutages(events)
+	default:
+		printSummary(events)
+	}
+}
+
+// span pairs a begin/end event couple.
+type span struct {
+	id       int64
+	beginNs  int64
+	endNs    int64
+	entries  int64
+	chargeNs int64
+	vFail    float64
+	vRestore float64
+}
+
+// pairSpans matches begin/end events of one kind pair by their id (A).
+func pairSpans(events []telemetry.Event, begin, end telemetry.EventKind) []span {
+	open := map[int64]telemetry.Event{}
+	var out []span
+	for _, e := range events {
+		switch e.Kind {
+		case begin:
+			open[e.A] = e
+		case end:
+			if b, ok := open[e.A]; ok {
+				delete(open, e.A)
+				out = append(out, span{
+					id: e.A, beginNs: b.Now, endNs: e.Now,
+					entries: e.B, chargeNs: e.B, vFail: b.F, vRestore: e.F,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func printLongestSweeps(events []telemetry.Event, n int) {
+	spans := pairSpans(events, telemetry.EvSweepBegin, telemetry.EvSweepEnd)
+	sort.Slice(spans, func(i, j int) bool {
+		di, dj := spans[i].endNs-spans[i].beginNs, spans[j].endNs-spans[j].beginNs
+		if di != dj {
+			return di > dj
+		}
+		return spans[i].id < spans[j].id
+	})
+	if n > len(spans) {
+		n = len(spans)
+	}
+	fmt.Printf("%d sweeps recorded; %d longest:\n", len(spans), n)
+	fmt.Printf("%8s %14s %14s %12s %8s\n", "region", "seal ns", "drained ns", "duration ns", "entries")
+	for _, s := range spans[:n] {
+		fmt.Printf("%8d %14d %14d %12d %8d\n", s.id, s.beginNs, s.endNs, s.endNs-s.beginNs, s.entries)
+	}
+}
+
+func printOutages(events []telemetry.Event) {
+	spans := pairSpans(events, telemetry.EvOutageBegin, telemetry.EvOutageEnd)
+	// Count what happened inside each outage window (restores, redone
+	// drains) by a second pass.
+	fmt.Printf("%d outages:\n", len(spans))
+	fmt.Printf("%8s %14s %14s %12s %8s %8s\n", "outage", "fail ns", "up ns", "charge ns", "V fail", "V up")
+	for _, s := range spans {
+		fmt.Printf("%8d %14d %14d %12d %8.3f %8.3f\n",
+			s.id, s.beginNs, s.endNs, s.chargeNs, s.vFail, s.vRestore)
+	}
+	if len(spans) > 0 {
+		var tot int64
+		for _, s := range spans {
+			tot += s.chargeNs
+		}
+		fmt.Printf("total recharge %.3f ms, mean %.3f ms/outage\n",
+			float64(tot)/1e6, float64(tot)/float64(len(spans))/1e6)
+	}
+}
+
+func printSummary(events []telemetry.Event) {
+	counts := map[telemetry.EventKind]int{}
+	var lastNs int64
+	for _, e := range events {
+		counts[e.Kind]++
+		if e.Now > lastNs {
+			lastNs = e.Now
+		}
+	}
+	fmt.Printf("%d events spanning %.3f ms\n\n", len(events), float64(lastNs)/1e6)
+	var kinds []telemetry.EventKind
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Printf("%-16s %8d\n", k, counts[k])
+	}
+
+	if sweeps := pairSpans(events, telemetry.EvSweepBegin, telemetry.EvSweepEnd); len(sweeps) > 0 {
+		var tot, max int64
+		for _, s := range sweeps {
+			d := s.endNs - s.beginNs
+			tot += d
+			if d > max {
+				max = d
+			}
+		}
+		fmt.Printf("\nsweeps: %d completed, mean %.1f us, max %.1f us\n",
+			len(sweeps), float64(tot)/float64(len(sweeps))/1e3, float64(max)/1e3)
+	}
+	if regions := pairSpans(events, telemetry.EvRegionStart, telemetry.EvRegionCommit); len(regions) > 0 {
+		var tot int64
+		for _, s := range regions {
+			tot += s.endNs - s.beginNs
+		}
+		fmt.Printf("regions: %d committed, mean %.1f us\n",
+			len(regions), float64(tot)/float64(len(regions))/1e3)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sweeptrace: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/mem"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Kind names a scheme.
@@ -89,12 +90,15 @@ type Stats struct {
 	RedoneDrains   uint64
 }
 
-// base carries the plumbing every scheme shares.
+// base carries the plumbing every scheme shares. tr is nil unless the
+// engine attached a tracer — emitting on a nil tracer is a no-op, so the
+// schemes' event sites cost one branch when telemetry is off.
 type base struct {
 	p   config.Params
 	nvm *mem.NVM
 	led *energy.Ledger
 	st  Stats
+	tr  *telemetry.Tracer
 }
 
 func newBase(p config.Params) base {
@@ -110,6 +114,9 @@ func (b *base) NVM() *mem.NVM            { return b.nvm }
 func (b *base) Ledger() *energy.Ledger   { return b.led }
 func (b *base) Stats() *Stats            { return &b.st }
 func (b *base) Params() config.Params    { return b.p }
+
+// SetTracer attaches (or detaches, with nil) the telemetry tracer.
+func (b *base) SetTracer(tr *telemetry.Tracer) { b.tr = tr }
 func (b *base) Sync(now int64)           {}
 func (b *base) Fetch(now int64) cpu.Cost { return cpu.Cost{} }
 func (b *base) RegionEnd(now int64) cpu.Cost {
@@ -174,6 +181,9 @@ type Scheme interface {
 	Params() config.Params
 	// Cache returns the L1D model, or nil for the cache-free NVP.
 	Cache() *cache.Cache
+	// SetTracer attaches the telemetry tracer the scheme emits events
+	// to; nil (the default) disables scheme-level events.
+	SetTracer(tr *telemetry.Tracer)
 }
 
 // New constructs the scheme for kind with the appropriate Table 1 voltage

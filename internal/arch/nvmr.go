@@ -5,6 +5,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/cpu"
 	"repro/internal/mem"
+	"repro/internal/telemetry"
 )
 
 // nvmr approximates NvMR (Section 6.7): a JIT-checkpoint design whose
@@ -55,7 +56,7 @@ func (s *nvmr) writeback(v *cache.Line) {
 	}
 }
 
-func (s *nvmr) access(addr int64) (*cache.Line, cpu.Cost) {
+func (s *nvmr) access(now int64, addr int64) (*cache.Line, cpu.Cost) {
 	s.led.Compute += s.p.ESRAMAccess
 	if ln := s.c.Touch(addr); ln != nil {
 		return ln, cpu.Cost{}
@@ -65,6 +66,7 @@ func (s *nvmr) access(addr int64) (*cache.Line, cpu.Cost) {
 	if v.Valid && v.Dirty {
 		s.writeback(v)
 		cost.Ns += s.p.NVMLineWriteNs
+		s.tr.Emit(telemetry.EvDirtyEvict, now, v.Tag, 0, 0, 0)
 		v.Dirty = false
 		s.c.DirtyEvictions++
 	}
@@ -80,7 +82,7 @@ func (s *nvmr) access(addr int64) (*cache.Line, cpu.Cost) {
 }
 
 func (s *nvmr) Load(now int64, addr int64, byteWide bool) (int64, cpu.Cost) {
-	ln, cost := s.access(addr)
+	ln, cost := s.access(now, addr)
 	if byteWide {
 		return int64(ln.ByteAt(addr)), cost
 	}
@@ -88,7 +90,7 @@ func (s *nvmr) Load(now int64, addr int64, byteWide bool) (int64, cpu.Cost) {
 }
 
 func (s *nvmr) Store(now int64, addr int64, val int64, byteWide bool) cpu.Cost {
-	ln, cost := s.access(addr)
+	ln, cost := s.access(now, addr)
 	if byteWide {
 		ln.SetByte(addr, byte(val))
 	} else {

@@ -5,6 +5,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/cpu"
 	"repro/internal/mem"
+	"repro/internal/telemetry"
 )
 
 // nvsram is a volatile write-back cache with a nonvolatile counterpart
@@ -49,7 +50,7 @@ func (s *nvsram) JIT() bool           { return true }
 func (s *nvsram) Cache() *cache.Cache { return s.c }
 
 // access is the shared write-back, write-allocate path.
-func (s *nvsram) access(addr int64) (*cache.Line, cpu.Cost) {
+func (s *nvsram) access(now int64, addr int64) (*cache.Line, cpu.Cost) {
 	s.led.Compute += s.p.ESRAMAccess
 	if ln := s.c.Touch(addr); ln != nil {
 		return ln, cpu.Cost{}
@@ -60,6 +61,7 @@ func (s *nvsram) access(addr int64) (*cache.Line, cpu.Cost) {
 		s.nvm.WriteLine(v.Tag, &v.Data)
 		s.led.NVM += s.p.ENVMLineWrite
 		cost.Ns += s.p.NVMLineWriteNs
+		s.tr.Emit(telemetry.EvDirtyEvict, now, v.Tag, 0, 0, 0)
 		v.Dirty = false
 		s.c.DirtyEvictions++
 	}
@@ -71,7 +73,7 @@ func (s *nvsram) access(addr int64) (*cache.Line, cpu.Cost) {
 }
 
 func (s *nvsram) Load(now int64, addr int64, byteWide bool) (int64, cpu.Cost) {
-	ln, cost := s.access(addr)
+	ln, cost := s.access(now, addr)
 	if byteWide {
 		return int64(ln.ByteAt(addr)), cost
 	}
@@ -79,7 +81,7 @@ func (s *nvsram) Load(now int64, addr int64, byteWide bool) (int64, cpu.Cost) {
 }
 
 func (s *nvsram) Store(now int64, addr int64, val int64, byteWide bool) cpu.Cost {
-	ln, cost := s.access(addr)
+	ln, cost := s.access(now, addr)
 	if byteWide {
 		ln.SetByte(addr, byte(val))
 	} else {

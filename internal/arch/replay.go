@@ -5,6 +5,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/cpu"
 	"repro/internal/mem"
+	"repro/internal/telemetry"
 )
 
 // replay implements ReplayCache (Figure 1d): a volatile write-back cache
@@ -77,6 +78,7 @@ func (s *replay) access(now int64, addr int64) (*cache.Line, cpu.Cost) {
 		s.nvm.WriteLine(v.Tag, &v.Data)
 		s.led.NVM += s.p.ENVMLineWrite
 		cost.Ns += s.p.NVMLineWriteNs
+		s.tr.Emit(telemetry.EvDirtyEvict, now, v.Tag, 0, 0, 0)
 		v.Dirty = false
 		s.c.DirtyEvictions++
 	}

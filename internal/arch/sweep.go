@@ -10,6 +10,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/persist"
+	"repro/internal/telemetry"
 )
 
 // sweep implements SweepCache (Figure 1e): a volatile write-back cache in
@@ -74,6 +75,12 @@ func (s *sweep) Kind() Kind {
 func (s *sweep) JIT() bool           { return false }
 func (s *sweep) Cache() *cache.Cache { return s.c }
 
+// Boot emits the first region's start; the buffer itself was claimed at
+// construction, before any tracer could be attached.
+func (s *sweep) Boot(entryPC int64) {
+	s.tr.Emit(telemetry.EvRegionStart, 0, int64(s.seq), 0, 0, 0)
+}
+
 // Sync drains buffers whose s-phase2 completed by now, in region order so
 // a younger duplicate line lands after an older one.
 func (s *sweep) Sync(now int64) {
@@ -89,6 +96,9 @@ func (s *sweep) Sync(now int64) {
 		if due == nil {
 			return
 		}
+		// The span's end time is the logical s-phase2 completion, not the
+		// (later) moment the drain is observed and applied.
+		s.tr.Emit(telemetry.EvSweepEnd, due.Phase2End, int64(due.Region), int64(due.Len()), 0, 0)
 		due.Drain(s.nvm)
 	}
 }
@@ -149,6 +159,7 @@ func (s *sweep) missFill(now int64, addr int64) (*cache.Line, cpu.Cost) {
 		s.led.Persist += s.p.ENVMLineWrite
 		cost.Ns += s.p.NVMLineWriteNs
 		s.wbi[s.active].ClearBit(v.Slot)
+		s.tr.Emit(telemetry.EvDirtyEvict, now, v.Tag, int64(v.DirtyRegion), 0, 0)
 		v.Dirty = false
 		s.c.DirtyEvictions++
 	}
@@ -258,6 +269,8 @@ func (s *sweep) RegionEnd(now int64) cpu.Cost {
 
 	cur := s.bufs[s.active]
 	cur.Seal(start, flush, s.p.FlushPerLineNs, s.p.DrainPerLineNs, other.Phase2End)
+	s.tr.Emit(telemetry.EvRegionCommit, start, int64(s.seq), int64(s.storesThisRegion), int64(len(dirty)), 0)
+	s.tr.Emit(telemetry.EvSweepBegin, start, int64(cur.Region), int64(cur.Len()), 0, 0)
 
 	// Account the persistence traffic: the flush writes the NVM-resident
 	// buffer, the drain writes the home locations (write amplification,
@@ -289,6 +302,7 @@ func (s *sweep) RegionEnd(now int64) cpu.Cost {
 	s.active = 1 - s.active
 	s.bufs[s.active].Claim(s.seq)
 	s.wbi[s.active].Clear()
+	s.tr.Emit(telemetry.EvRegionStart, now+cost.Ns, int64(s.seq), 0, 0, 0)
 	return cost
 }
 
@@ -326,6 +340,7 @@ func (s *sweep) Restore(now int64, regs *cpu.Regs) (int64, cpu.Cost) {
 	// redoing a partially completed one is safe.
 	for _, b := range s.pendingRedo {
 		n := int64(b.Len())
+		s.tr.Emit(telemetry.EvRedoDrain, now, int64(b.Region), n, 0, 0)
 		b.Drain(s.nvm)
 		cost.Ns += n * s.p.DrainPerLineNs
 		s.led.Restore += float64(n) * s.p.ENVMLineWrite
@@ -349,6 +364,7 @@ func (s *sweep) Restore(now int64, regs *cpu.Regs) (int64, cpu.Cost) {
 	s.seq++
 	s.active = 0
 	s.bufs[0].Claim(s.seq)
+	s.tr.Emit(telemetry.EvRegionStart, now, int64(s.seq), 0, 0, 0)
 	return pc, cost
 }
 

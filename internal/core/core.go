@@ -12,6 +12,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/ir"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -39,12 +40,18 @@ func Compile(build Builder, kind arch.Kind, p config.Params) (*compiler.Result, 
 // Run compiles build for kind and executes it under the given power source
 // (nil = outage-free).
 func Run(build Builder, kind arch.Kind, p config.Params, src trace.Source) (*sim.Result, error) {
+	return RunTraced(build, kind, p, src, nil)
+}
+
+// RunTraced is Run with a telemetry tracer attached to the engine and the
+// scheme; a nil tracer is the untraced fast path.
+func RunTraced(build Builder, kind arch.Kind, p config.Params, src trace.Source, tr *telemetry.Tracer) (*sim.Result, error) {
 	cres, err := Compile(build, kind, p)
 	if err != nil {
 		return nil, fmt.Errorf("core: compile for %v: %w", kind, err)
 	}
 	scheme := arch.New(kind, p)
-	res, err := sim.Run(cres.Linked, scheme, sim.Options{Source: src})
+	res, err := sim.Run(cres.Linked, scheme, sim.Options{Source: src, Tracer: tr})
 	if err != nil {
 		return res, fmt.Errorf("core: run %v: %w", kind, err)
 	}

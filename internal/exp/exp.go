@@ -7,9 +7,12 @@ package exp
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/arch"
 	"repro/internal/config"
@@ -17,6 +20,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -33,6 +37,16 @@ type Context struct {
 	Quick bool
 	// Out receives the printed tables; nil discards them.
 	Out io.Writer
+
+	// Metrics, when non-nil, accumulates every simulated run's metrics
+	// snapshot across the (parallel) experiment matrices.
+	Metrics *telemetry.Snapshot
+	// TraceDir, when set, records one JSONL telemetry stream per
+	// simulated run into that directory.
+	TraceDir string
+
+	metricsMu sync.Mutex
+	traceSeq  atomic.Uint64
 }
 
 // DefaultContext returns the evaluation configuration.
@@ -150,7 +164,7 @@ func (c *Context) runMatrix(kinds []arch.Kind, profile *trace.Profile, p config.
 			if profile != nil {
 				src = trace.New(*profile, c.Seed)
 			}
-			res, err := core.Run(c.builder(j.w), j.k, p, src)
+			res, err := c.runJob(j.w, j.k, p, src)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -166,6 +180,45 @@ func (c *Context) runMatrix(kinds []arch.Kind, profile *trace.Profile, p config.
 		return nil, errs[0]
 	}
 	return m, nil
+}
+
+// runJob executes one (workload, scheme) simulation, recording per-run
+// telemetry and folding the run's metrics into the context accumulator
+// when those are enabled.
+func (c *Context) runJob(w workloads.Workload, k arch.Kind, p config.Params, src trace.Source) (*sim.Result, error) {
+	var tr *telemetry.Tracer
+	var traceFile *os.File
+	if c.TraceDir != "" {
+		seq := c.traceSeq.Add(1)
+		name := fmt.Sprintf("%04d_%s_%v.jsonl", seq, w.Name, k)
+		f, err := os.Create(filepath.Join(c.TraceDir, name))
+		if err != nil {
+			return nil, err
+		}
+		traceFile = f
+		tr = telemetry.NewTracer(telemetry.NewJSONLSink(f), 0)
+	}
+	res, err := core.RunTraced(c.builder(w), k, p, src, tr)
+	if traceFile != nil {
+		if cerr := tr.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if cerr := traceFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if c.Metrics != nil {
+		snap := res.Metrics()
+		c.metricsMu.Lock()
+		defer c.metricsMu.Unlock()
+		if err := c.Metrics.Merge(snap); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
 }
 
 // suites splits the matrix workload names by benchmark suite.

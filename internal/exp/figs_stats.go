@@ -28,8 +28,12 @@ func (c *Context) Fig12() (*Fig12Result, error) {
 	}
 	for _, n := range m.Names {
 		res := m.Get(n, arch.SweepEmptyBit)
-		r.RegionSizes.Merge(res.RegionSizes)
-		r.StoresPerRegion.Merge(res.Arch.StoresPerRegion)
+		if err := r.RegionSizes.Merge(res.RegionSizes); err != nil {
+			return nil, err
+		}
+		if err := r.StoresPerRegion.Merge(res.Arch.StoresPerRegion); err != nil {
+			return nil, err
+		}
 	}
 	r.MeanRegionSize = r.RegionSizes.Mean()
 	r.MeanStores = r.StoresPerRegion.Mean()
@@ -287,7 +291,9 @@ func (c *Context) Threshold() (*ThresholdResult, error) {
 		}
 		h := stats.NewHist(th + 1)
 		for _, n := range m.Names {
-			h.Merge(m.Get(n, arch.SweepEmptyBit).Arch.StoresPerRegion)
+			if err := h.Merge(m.Get(n, arch.SweepEmptyBit).Arch.StoresPerRegion); err != nil {
+				return nil, err
+			}
 		}
 		r.MeanStores[th] = h.Mean()
 		r.Speedup[th] = m.GeomeanSpeedup(arch.SweepEmptyBit, nil)

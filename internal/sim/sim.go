@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/arch"
 	"repro/internal/cpu"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -40,6 +42,9 @@ type Options struct {
 	StagnationNs int64
 	// RegionHistMax bounds the region-size histogram. 0 means 256.
 	RegionHistMax int
+	// Tracer receives the run's telemetry events; nil (the default)
+	// disables tracing at the cost of one branch per emit site.
+	Tracer *telemetry.Tracer
 }
 
 // Result is everything measured during a run.
@@ -83,12 +88,123 @@ func (r *Result) MissRate() float64 {
 	return float64(r.CacheMisses) / float64(tot)
 }
 
-// ParallelismEfficiency returns Section 6.3's (Tp-Twait)/Tp.
+// ParallelismEfficiency returns Section 6.3's (Tp-Twait)/Tp, clamped to
+// [0, 1]: a run with no persistence work reports 1, and accumulated wait
+// exceeding Tp (possible when structural stalls pile up across outages)
+// reports 0 rather than a nonsensical negative efficiency.
 func (r *Result) ParallelismEfficiency() float64 {
 	if r.Arch.TpNs == 0 {
 		return 1
 	}
-	return float64(r.Arch.TpNs-r.Arch.TwaitNs) / float64(r.Arch.TpNs)
+	eff := float64(r.Arch.TpNs-r.Arch.TwaitNs) / float64(r.Arch.TpNs)
+	if eff < 0 {
+		return 0
+	}
+	return eff
+}
+
+// OutageRate returns outages per simulated millisecond of wall clock, or
+// 0 for an instantaneous (empty) run.
+func (r *Result) OutageRate() float64 {
+	if r.TimeNs == 0 {
+		return 0
+	}
+	return float64(r.Outages) / (float64(r.TimeNs) / 1e6)
+}
+
+// String renders the run as the human-readable report cmd/sweepsim
+// prints: timing, instruction mix, energy ledger, cache and NVM traffic,
+// and — where the scheme produces them — region and JIT statistics.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "wall clock     %12.3f ms   (run %.3f ms, recharge %.3f ms)\n",
+		float64(r.TimeNs)/1e6, float64(r.RunNs)/1e6, float64(r.ChargeNs)/1e6)
+	fmt.Fprintf(&b, "instructions   %12d      (loads %d, stores %d, ckpt %d)\n",
+		r.Counts.Executed, r.Counts.Loads, r.Counts.Stores, r.Counts.CkptStores)
+	fmt.Fprintf(&b, "power outages  %12d\n", r.Outages)
+	led := r.Ledger
+	fmt.Fprintf(&b, "energy         %12.3f uJ   (compute %.3f, nvm %.3f, persist %.3f,\n",
+		led.Total()*1e6, led.Compute*1e6, led.NVM*1e6, led.Persist*1e6)
+	fmt.Fprintf(&b, "                                  backup %.3f, restore %.3f, sleep %.3f)\n",
+		led.Backup*1e6, led.Restore*1e6, led.Sleep*1e6)
+	if r.CacheHits+r.CacheMisses > 0 {
+		fmt.Fprintf(&b, "cache          %11.2f%% miss  (%d hits, %d misses, %d dirty evictions)\n",
+			100*r.MissRate(), r.CacheHits, r.CacheMisses, r.DirtyEvictions)
+	}
+	fmt.Fprintf(&b, "NVM traffic    %12d word reads, %d word writes, %d line reads, %d line writes\n",
+		r.NVMReads, r.NVMWrites, r.NVMLineReads, r.NVMLineWrites)
+	if r.Arch.RegionsExecuted > 0 {
+		fmt.Fprintf(&b, "regions        %12d      (mean %.1f insts, %.1f stores; parallelism eff %.1f%%)\n",
+			r.Arch.RegionsExecuted, r.RegionSizes.Mean(),
+			r.Arch.StoresPerRegion.Mean(), 100*r.ParallelismEfficiency())
+		fmt.Fprintf(&b, "buffer search  %12d      (%d bypassed by empty-bit, %d served misses)\n",
+			r.Arch.BufferSearches, r.Arch.BufferBypasses, r.Arch.BufferHits)
+	}
+	if r.Arch.BackupEvents > 0 {
+		fmt.Fprintf(&b, "JIT events     %12d backups, %d restores, %d lines backed up\n",
+			r.Arch.BackupEvents, r.Arch.RestoreEvents, r.Arch.LinesBackedUp)
+	}
+	return b.String()
+}
+
+// Metrics converts the run's counters into a telemetry snapshot: every
+// ad-hoc Result field becomes a named counter, gauge, or histogram, so
+// runs merge uniformly across a parallel experiment matrix.
+func (r *Result) Metrics() *telemetry.Snapshot {
+	reg := telemetry.NewRegistry()
+	reg.Counter("sim.runs").Add(1) // merged snapshots count aggregated runs
+	reg.Counter("sim.outages").Add(r.Outages)
+	reg.Counter("sim.instructions").Add(r.Counts.Executed)
+	reg.Counter("sim.loads").Add(r.Counts.Loads)
+	reg.Counter("sim.stores").Add(r.Counts.Stores)
+	reg.Counter("sim.ckpt_stores").Add(r.Counts.CkptStores)
+	reg.Counter("sim.save_pcs").Add(r.Counts.SavePCs)
+	reg.Counter("sim.region_ends").Add(r.Counts.RegionEnds)
+	reg.Counter("sim.clwbs").Add(r.Counts.Clwbs)
+	reg.Counter("sim.fences").Add(r.Counts.Fences)
+	reg.Counter("cache.hits").Add(r.CacheHits)
+	reg.Counter("cache.misses").Add(r.CacheMisses)
+	reg.Counter("cache.dirty_evictions").Add(r.DirtyEvictions)
+	reg.Counter("nvm.reads").Add(r.NVMReads)
+	reg.Counter("nvm.writes").Add(r.NVMWrites)
+	reg.Counter("nvm.line_reads").Add(r.NVMLineReads)
+	reg.Counter("nvm.line_writes").Add(r.NVMLineWrites)
+	reg.Counter("arch.regions").Add(r.Arch.RegionsExecuted)
+	reg.Counter("arch.buffer_searches").Add(r.Arch.BufferSearches)
+	reg.Counter("arch.buffer_bypasses").Add(r.Arch.BufferBypasses)
+	reg.Counter("arch.buffer_hits").Add(r.Arch.BufferHits)
+	reg.Counter("arch.backups").Add(r.Arch.BackupEvents)
+	reg.Counter("arch.restores").Add(r.Arch.RestoreEvents)
+	reg.Counter("arch.lines_backed_up").Add(r.Arch.LinesBackedUp)
+	reg.Counter("arch.replayed_stores").Add(r.Arch.ReplayedStores)
+	reg.Counter("arch.redone_drains").Add(r.Arch.RedoneDrains)
+
+	// Run-phase breakdown: where the wall clock went.
+	reg.Gauge("phase.total_ns").Set(float64(r.TimeNs))
+	reg.Gauge("phase.run_ns").Set(float64(r.RunNs))
+	reg.Gauge("phase.charge_ns").Set(float64(r.ChargeNs))
+	reg.Gauge("phase.restore_ns").Set(float64(r.RestoreNs))
+	reg.Gauge("phase.waw_stall_ns").Set(float64(r.Arch.WAWStallNs))
+	reg.Gauge("phase.fence_stall_ns").Set(float64(r.Arch.FenceStallNs))
+	reg.Gauge("phase.clwb_stall_ns").Set(float64(r.Arch.ClwbStallNs))
+	reg.Gauge("phase.tp_ns").Set(float64(r.Arch.TpNs))
+	reg.Gauge("phase.twait_ns").Set(float64(r.Arch.TwaitNs))
+
+	reg.Gauge("energy.compute_j").Set(r.Ledger.Compute)
+	reg.Gauge("energy.nvm_j").Set(r.Ledger.NVM)
+	reg.Gauge("energy.persist_j").Set(r.Ledger.Persist)
+	reg.Gauge("energy.backup_j").Set(r.Ledger.Backup)
+	reg.Gauge("energy.restore_j").Set(r.Ledger.Restore)
+	reg.Gauge("energy.sleep_j").Set(r.Ledger.Sleep)
+	reg.Gauge("energy.total_j").Set(r.Ledger.Total())
+
+	if r.RegionSizes != nil {
+		reg.SetHistogram("region.sizes", r.RegionSizes)
+	}
+	if r.Arch.StoresPerRegion != nil {
+		reg.SetHistogram("region.stores", r.Arch.StoresPerRegion)
+	}
+	return reg.Snapshot()
 }
 
 // debugOutages, enabled by setting the SIM_DEBUG environment variable,
@@ -128,6 +244,8 @@ func Run(l *ir.Linked, s arch.Scheme, opt Options) (*Result, error) {
 	}
 
 	InitNVM(s, l)
+	tr := opt.Tracer
+	s.SetTracer(tr)
 	core := cpu.New(l.Code, int64(l.EntryPC))
 	s.Boot(int64(l.EntryPC))
 	led := s.Ledger()
@@ -182,6 +300,8 @@ func Run(l *ir.Linked, s arch.Scheme, opt Options) (*Result, error) {
 			fmt.Printf("OUTAGE %d at now=%d pc=%d executed=%d V=%.3f r0=%d\n", res.Outages, now, core.PC, core.Counts.Executed, cap.V(), core.Regs[0])
 		}
 		res.Outages++
+		tr.Emit(telemetry.EvOutageBegin, now, int64(res.Outages), 0, 0, cap.V())
+		chargeBefore := res.ChargeNs
 		s.PowerFail(now)
 		elapsed, ok := cursor.ChargeUntil(cap, p.VRestore, p.PSleep, opt.StagnationNs, led)
 		now += elapsed
@@ -198,10 +318,12 @@ func Run(l *ir.Linked, s arch.Scheme, opt Options) (*Result, error) {
 		res.ChargeNs += p.RestoreDelayNs
 
 		before := led.Total()
+		restoreStart := now
 		pc, rcost := s.Restore(now, &core.Regs)
 		if debugOutages {
 			fmt.Printf("  RESTORE -> pc=%d V=%.3f r0=%d r13=%d\n", pc, cap.V(), core.Regs[0], core.Regs[13])
 		}
+		tr.Emit(telemetry.EvRestore, restoreStart, pc, rcost.Ns, 0, 0)
 		core.PC = pc
 		cap.Draw(led.Total() - before)
 		drawRun(rcost.Ns)
@@ -220,6 +342,7 @@ func Run(l *ir.Linked, s arch.Scheme, opt Options) (*Result, error) {
 		}
 		regionInstrs = 0
 		armed = true
+		tr.Emit(telemetry.EvOutageEnd, now, int64(res.Outages), res.ChargeNs-chargeBefore, 0, cap.V())
 		return nil
 	}
 
@@ -232,6 +355,7 @@ func Run(l *ir.Linked, s arch.Scheme, opt Options) (*Result, error) {
 			if s.JIT() && s.NeedsBackup() {
 				before := led.Total()
 				bcost := s.Backup(now, &core.Regs, core.PC)
+				tr.Emit(telemetry.EvBackup, now, core.PC, bcost.Ns, 0, 0)
 				cap.Draw(led.Total() - before)
 				drawRun(bcost.Ns)
 			}
@@ -240,6 +364,7 @@ func Run(l *ir.Linked, s arch.Scheme, opt Options) (*Result, error) {
 				drawRun(p.BackupDelayNs) // T_phl detection delay
 				before := led.Total()
 				bcost := s.Backup(now, &core.Regs, core.PC)
+				tr.Emit(telemetry.EvBackup, now, core.PC, bcost.Ns, 0, 0)
 				cap.Draw(led.Total() - before)
 				drawRun(bcost.Ns)
 				armed = false
@@ -265,7 +390,18 @@ func Run(l *ir.Linked, s arch.Scheme, opt Options) (*Result, error) {
 			}
 		}
 
-		op := l.Code[core.PC].Op
+		in := &l.Code[core.PC]
+		op := in.Op
+		if tr != nil {
+			// Compiler-inserted checkpoint stores; the nil guard keeps the
+			// per-instruction switch off the disabled hot path.
+			switch op {
+			case isa.OpCkptSt:
+				tr.Emit(telemetry.EvCkptStore, now, int64(in.Src2), 0, 0, 0)
+			case isa.OpSavePC:
+				tr.Emit(telemetry.EvSavePC, now, in.Imm, 0, 0, 0)
+			}
+		}
 		before := led.Total()
 		st := core.Step(now, s, timing)
 		led.Compute += p.EInstr + p.PRun*float64(st.Ns)*1e-9
@@ -286,6 +422,7 @@ func Run(l *ir.Linked, s arch.Scheme, opt Options) (*Result, error) {
 
 	s.Sync(now + 1<<40) // settle all background persistence
 	s.Finalize()        // drain volatile leftovers so the NVM image is observable
+	tr.Emit(telemetry.EvHalt, now, int64(core.Counts.Executed), 0, 0, 0)
 
 	res.Halted = true
 	res.TimeNs = now

@@ -3,7 +3,10 @@
 // paper's aggregate for speedups), and quantiles.
 package stats
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Hist is a histogram over small non-negative integers.
 type Hist struct {
@@ -54,15 +57,26 @@ func (h *Hist) CDF() []float64 {
 	return out
 }
 
-// Quantile returns the smallest value v with CDF(v) >= q; Overflow samples
-// map to len(Buckets).
+// Quantile returns the smallest recorded value v with CDF(v) >= q;
+// Overflow samples map to len(Buckets). Edge cases are pinned down:
+// q <= 0 returns the smallest recorded value (not bucket 0), q >= 1 the
+// largest, and an empty histogram returns 0 for every q.
 func (h *Hist) Quantile(q float64) int {
 	if h.N == 0 {
 		return 0
 	}
+	if q > 1 {
+		q = 1
+	}
 	target := q * float64(h.N)
+	if target < 1 {
+		target = 1 // q <= 0 (or q below 1/N) selects the minimum sample
+	}
 	var acc float64
 	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
 		acc += float64(c)
 		if acc >= target {
 			return i
@@ -71,15 +85,21 @@ func (h *Hist) Quantile(q float64) int {
 	return len(h.Buckets)
 }
 
-// Merge adds o's samples into h. The histograms must have equal bucket
-// counts.
-func (h *Hist) Merge(o *Hist) {
+// Merge adds o's samples into h. Histograms with different bucket counts
+// do not merge meaningfully (the same value would sit in a bucket in one
+// and in Overflow in the other), so a mismatch is an explicit error and
+// h is left unchanged.
+func (h *Hist) Merge(o *Hist) error {
+	if len(h.Buckets) != len(o.Buckets) {
+		return fmt.Errorf("stats: merging histograms with %d and %d buckets", len(h.Buckets), len(o.Buckets))
+	}
 	for i, c := range o.Buckets {
 		h.Buckets[i] += c
 	}
 	h.Overflow += o.Overflow
 	h.N += o.N
 	h.Sum += o.Sum
+	return nil
 }
 
 // Geomean returns the geometric mean of xs (which must be positive), or 0

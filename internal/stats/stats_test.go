@@ -61,14 +61,61 @@ func TestQuantile(t *testing.T) {
 	}
 }
 
+func TestQuantileEdges(t *testing.T) {
+	empty := NewHist(8)
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if v := empty.Quantile(q); v != 0 {
+			t.Errorf("empty Quantile(%g) = %d", q, v)
+		}
+	}
+
+	h := NewHist(10)
+	h.Add(3)
+	h.Add(3)
+	h.Add(7)
+	if v := h.Quantile(0); v != 3 {
+		t.Errorf("Quantile(0) = %d, want smallest recorded value 3", v)
+	}
+	if v := h.Quantile(-0.5); v != 3 {
+		t.Errorf("Quantile(-0.5) = %d, want 3", v)
+	}
+	if v := h.Quantile(1); v != 7 {
+		t.Errorf("Quantile(1) = %d, want largest recorded value 7", v)
+	}
+	if v := h.Quantile(1.5); v != 7 {
+		t.Errorf("Quantile(1.5) = %d, want clamp to 7", v)
+	}
+
+	// Overflowed samples map to len(Buckets) at the top quantile.
+	h.Add(99)
+	if v := h.Quantile(1); v != len(h.Buckets) {
+		t.Errorf("Quantile(1) with overflow = %d, want %d", v, len(h.Buckets))
+	}
+}
+
 func TestMerge(t *testing.T) {
 	a, b := NewHist(4), NewHist(4)
 	a.Add(1)
 	b.Add(2)
 	b.Add(9)
-	a.Merge(b)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
 	if a.N != 3 || a.Buckets[2] != 1 || a.Overflow != 1 {
 		t.Errorf("merge: %+v", a)
+	}
+}
+
+func TestMergeMismatchedBuckets(t *testing.T) {
+	a, b := NewHist(4), NewHist(8)
+	a.Add(1)
+	b.Add(2)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging mismatched bucket counts should be an explicit error")
+	}
+	// The failed merge must leave the target untouched.
+	if a.N != 1 || a.Buckets[1] != 1 || a.Buckets[2] != 0 {
+		t.Errorf("failed merge mutated target: %+v", a)
 	}
 }
 

@@ -1,0 +1,198 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v uint64 }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge is a point-in-time value. Gauges merge additively across runs
+// (times and energies — the gauges this simulator records — are sums).
+type Gauge struct{ v float64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Add increases the gauge by v.
+func (g *Gauge) Add(v float64) { g.v += v }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Registry is a set of named metrics. It is not safe for concurrent use;
+// parallel runs each populate their own registry and merge Snapshots.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*stats.Hist
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*stats.Hist{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bound on first use (max is ignored for an existing histogram).
+func (r *Registry) Histogram(name string, max int) *stats.Hist {
+	h := r.hists[name]
+	if h == nil {
+		h = stats.NewHist(max)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// SetHistogram installs an existing histogram under name (the simulator
+// records region histograms in stats.Hist already; re-sampling them into
+// a fresh histogram would be waste).
+func (r *Registry) SetHistogram(name string, h *stats.Hist) { r.hists[name] = h }
+
+// Snapshot captures the registry's current values. Histograms are
+// deep-copied so a snapshot is immune to later mutation.
+func (r *Registry) Snapshot() *Snapshot {
+	s := NewSnapshot()
+	for name, c := range r.counters {
+		s.Counters[name] = c.v
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.v
+	}
+	for name, h := range r.hists {
+		s.Hists[name] = copyHist(h)
+	}
+	return s
+}
+
+func copyHist(h *stats.Hist) *stats.Hist {
+	cp := &stats.Hist{
+		Buckets:  append([]uint64(nil), h.Buckets...),
+		Overflow: h.Overflow,
+		N:        h.N,
+		Sum:      h.Sum,
+	}
+	return cp
+}
+
+// Snapshot is a point-in-time copy of a registry, mergeable across runs.
+type Snapshot struct {
+	Counters map[string]uint64
+	Gauges   map[string]float64
+	Hists    map[string]*stats.Hist
+}
+
+// NewSnapshot returns an empty snapshot.
+func NewSnapshot() *Snapshot {
+	return &Snapshot{
+		Counters: map[string]uint64{},
+		Gauges:   map[string]float64{},
+		Hists:    map[string]*stats.Hist{},
+	}
+}
+
+// Merge folds o into s: counters and gauges add, histograms merge
+// sample-wise. Histograms recorded with different bucket bounds (e.g.
+// across store-threshold sweeps) are reconciled by growing the smaller
+// histogram first; samples already in its overflow stay in overflow.
+func (s *Snapshot) Merge(o *Snapshot) error {
+	for name, v := range o.Counters {
+		s.Counters[name] += v
+	}
+	for name, v := range o.Gauges {
+		s.Gauges[name] += v
+	}
+	for name, oh := range o.Hists {
+		h := s.Hists[name]
+		if h == nil {
+			s.Hists[name] = copyHist(oh)
+			continue
+		}
+		if len(h.Buckets) != len(oh.Buckets) {
+			oh = copyHist(oh)
+			grow(h, len(oh.Buckets))
+			grow(oh, len(h.Buckets))
+		}
+		if err := h.Merge(oh); err != nil {
+			return fmt.Errorf("telemetry: merge %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func grow(h *stats.Hist, n int) {
+	for len(h.Buckets) < n {
+		h.Buckets = append(h.Buckets, 0)
+	}
+}
+
+// WriteText renders the snapshot as sorted, aligned plain text.
+func (s *Snapshot) WriteText(w io.Writer) error {
+	var names []string
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "counter %-28s %d\n", n, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "gauge   %-28s %g\n", n, s.Gauges[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Hists[n]
+		if _, err := fmt.Fprintf(w, "hist    %-28s n=%d mean=%.2f p50=%d p99=%d overflow=%d\n",
+			n, h.N, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Overflow); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles begins CPU profiling into <prefix>.cpu.pb.gz and returns
+// a stop function that ends it and additionally writes a heap profile to
+// <prefix>.mem.pb.gz — the run-phase profiling hook behind the CLIs'
+// -pprof flag. Inspect the outputs with `go tool pprof`.
+func StartProfiles(prefix string) (stop func() error, err error) {
+	cpuFile, err := os.Create(prefix + ".cpu.pb.gz")
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cpuFile); err != nil {
+		cpuFile.Close()
+		return nil, err
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := cpuFile.Close(); err != nil {
+			return err
+		}
+		memFile, err := os.Create(prefix + ".mem.pb.gz")
+		if err != nil {
+			return err
+		}
+		defer memFile.Close()
+		runtime.GC() // settle allocations so the heap profile is meaningful
+		if err := pprof.WriteHeapProfile(memFile); err != nil {
+			return fmt.Errorf("telemetry: heap profile: %w", err)
+		}
+		return nil
+	}, nil
+}
