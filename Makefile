@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench bench-telemetry check clean
+.PHONY: all build test vet bench bench-json bench-telemetry check clean
 
 all: check
 
@@ -16,6 +16,14 @@ vet:
 # The full evaluation-in-miniature: one benchmark per paper table/figure.
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# Engine micro-benchmarks (interpreter, energy accounting, power events)
+# plus the two headline figure matrices, archived as machine-readable
+# JSON; CI uploads the file as an artifact.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineStep|BenchmarkRunOutageFree|BenchmarkRunRFHome|BenchmarkFig5OutageFree|BenchmarkFig6RFHome' -benchtime 3x . \
+		| $(GO) run ./cmd/benchjson -o BENCH_engine.json
+	@cat BENCH_engine.json
 
 # Tracer overhead: disabled vs discard-sink vs JSONL-encoding runs.
 bench-telemetry:

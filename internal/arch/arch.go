@@ -110,15 +110,20 @@ func newBase(p config.Params) base {
 	}
 }
 
-func (b *base) NVM() *mem.NVM            { return b.nvm }
-func (b *base) Ledger() *energy.Ledger   { return b.led }
-func (b *base) Stats() *Stats            { return &b.st }
-func (b *base) Params() config.Params    { return b.p }
+func (b *base) NVM() *mem.NVM          { return b.nvm }
+func (b *base) Ledger() *energy.Ledger { return b.led }
+func (b *base) Stats() *Stats          { return &b.st }
+func (b *base) Params() config.Params  { return b.p }
 
 // SetTracer attaches (or detaches, with nil) the telemetry tracer.
 func (b *base) SetTracer(tr *telemetry.Tracer) { b.tr = tr }
-func (b *base) Sync(now int64)           {}
-func (b *base) Fetch(now int64) cpu.Cost { return cpu.Cost{} }
+func (b *base) Sync(now int64)                 {}
+func (b *base) Fetch(now int64) cpu.Cost       { return cpu.Cost{} }
+
+// FetchIsFree declares the no-op Fetch above to the interpreter (see
+// cpu.FreeFetcher); schemes that charge per-fetch costs must override
+// both Fetch and this.
+func (b *base) FetchIsFree() bool { return true }
 func (b *base) RegionEnd(now int64) cpu.Cost {
 	panic("arch: region.end executed on a plain-compiled scheme")
 }

@@ -26,6 +26,8 @@ func (s *nvp) Fetch(now int64) cpu.Cost {
 	return cpu.Cost{Ns: s.p.NVPFetchNs}
 }
 
+func (s *nvp) FetchIsFree() bool { return false }
+
 func (s *nvp) Load(now int64, addr int64, byteWide bool) (int64, cpu.Cost) {
 	s.led.NVM += s.p.ENVMRead
 	var v int64

@@ -50,6 +50,13 @@ func RunTraced(build Builder, kind arch.Kind, p config.Params, src trace.Source,
 	if err != nil {
 		return nil, fmt.Errorf("core: compile for %v: %w", kind, err)
 	}
+	return RunCompiled(cres, kind, p, src, tr)
+}
+
+// RunCompiled executes an already-compiled binary on a fresh machine of
+// the given kind. The compiled result is only read, so one compilation —
+// typically out of SharedCompileCache — can back many concurrent runs.
+func RunCompiled(cres *compiler.Result, kind arch.Kind, p config.Params, src trace.Source, tr *telemetry.Tracer) (*sim.Result, error) {
 	scheme := arch.New(kind, p)
 	res, err := sim.Run(cres.Linked, scheme, sim.Options{Source: src, Tracer: tr})
 	if err != nil {
@@ -76,13 +83,15 @@ func (c *Comparison) SpeedupOver(kind arch.Kind) float64 {
 
 // Compare runs build on NVP (the baseline) and on each requested scheme
 // under per-scheme fresh cursors of the same trace profile, so every
-// machine experiences the identical energy timeline.
+// machine experiences the identical energy timeline. The timeline is a
+// shared tape: the synthetic generator runs once no matter how many
+// schemes replay it.
 func Compare(build Builder, kinds []arch.Kind, p config.Params, profile *trace.Profile, seed int64) (*Comparison, error) {
 	src := func() trace.Source {
 		if profile == nil {
 			return nil
 		}
-		return trace.New(*profile, seed)
+		return trace.NewShared(*profile, seed)
 	}
 	base, err := Run(build, arch.NVP, p, src())
 	if err != nil {

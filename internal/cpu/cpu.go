@@ -67,11 +67,46 @@ type CPU struct {
 	Code   []isa.Instr
 	Halted bool
 	Counts Counts
+
+	// dec is the predecoded dispatch table, position-matched to Code.
+	dec []isa.Decoded
+	// fetchFree elides the per-instruction ms.Fetch call for memory
+	// systems that declare it cost- and effect-free (see FreeFetcher).
+	fetchFree bool
 }
 
-// New returns a core ready to run code from entryPC.
+// FreeFetcher is an optional MemSystem capability: implementations whose
+// Fetch never charges time or energy and has no side effects return true,
+// and the interpreter drops the call from the per-instruction path. The
+// cache-free NVP pays NVM latency on every fetch and must return false.
+type FreeFetcher interface {
+	FetchIsFree() bool
+}
+
+// SetFetchFree configures fetch elision; callers must only enable it for
+// a memory system whose Fetch is a no-op.
+func (c *CPU) SetFetchFree(free bool) { c.fetchFree = free }
+
+// New returns a core ready to run code from entryPC, predecoding the
+// dispatch table itself.
 func New(code []isa.Instr, entryPC int64) *CPU {
-	return &CPU{Code: code, PC: entryPC}
+	return NewPredecoded(code, isa.Predecode(code), entryPC)
+}
+
+// NewPredecoded returns a core over an already-predecoded program (the
+// linker decodes once; the compile cache shares the table across runs).
+// dec must be position-matched to code.
+func NewPredecoded(code []isa.Instr, dec []isa.Decoded, entryPC int64) *CPU {
+	if len(dec) != len(code) {
+		panic(fmt.Sprintf("cpu: decode table length %d != code length %d", len(dec), len(code)))
+	}
+	return &CPU{Code: code, dec: dec, PC: entryPC}
+}
+
+// NewLinked returns a core for a linked program, reusing its link-time
+// decode table.
+func NewLinked(l *ir.Linked) *CPU {
+	return NewPredecoded(l.Code, l.Dec, int64(l.EntryPC))
 }
 
 // StepTiming carries the per-op latencies the core itself owns.
@@ -85,88 +120,104 @@ type StepTiming struct {
 // cost. It panics on malformed code (the linker guarantees well-formed
 // programs).
 func (c *CPU) Step(now int64, ms MemSystem, t StepTiming) Cost {
+	ns, _ := c.StepFast(now, ms, t)
+	return Cost{Ns: ns}
+}
+
+// StepFast executes the instruction at PC against ms and returns its time
+// cost in nanoseconds plus its dispatch class, through the predecoded
+// table: one dense switch, no opcode range tests, and the class flows
+// back to the engine so it never re-reads the instruction word.
+func (c *CPU) StepFast(now int64, ms MemSystem, t StepTiming) (int64, isa.Class) {
 	if c.Halted {
-		return Cost{}
+		return 0, isa.ClassHalt
 	}
-	in := c.Code[c.PC]
-	cost := Cost{Ns: t.CycleNs}
-	cost.Add(ms.Fetch(now))
+	d := &c.dec[c.PC]
+	ns := t.CycleNs
+	if !c.fetchFree {
+		ns += ms.Fetch(now).Ns
+	}
 	next := c.PC + 1
 	c.Counts.Executed++
 
-	switch {
-	case in.Op == isa.OpNop:
+	switch d.Class {
+	case isa.ClassNop:
 
-	case in.Op.IsALURR():
-		c.Regs[in.Dst] = isa.EvalALU(in.Op, c.Regs[in.Src1], c.Regs[in.Src2])
-		cost.Ns += c.aluExtra(in.Op, t)
-	case in.Op.IsALURI():
-		c.Regs[in.Dst] = isa.EvalALU(in.Op, c.Regs[in.Src1], in.Imm)
-		cost.Ns += c.aluExtra(in.Op, t)
-	case in.Op == isa.OpMovI:
-		c.Regs[in.Dst] = in.Imm
-	case in.Op == isa.OpMov:
-		c.Regs[in.Dst] = c.Regs[in.Src1]
+	case isa.ClassALURR:
+		c.Regs[d.Dst] = isa.EvalALU(d.Op, c.Regs[d.Src1], c.Regs[d.Src2])
+	case isa.ClassALURRMul:
+		c.Regs[d.Dst] = isa.EvalALU(d.Op, c.Regs[d.Src1], c.Regs[d.Src2])
+		ns += (t.MulCycles - 1) * t.CycleNs
+	case isa.ClassALURRDiv:
+		c.Regs[d.Dst] = isa.EvalALU(d.Op, c.Regs[d.Src1], c.Regs[d.Src2])
+		ns += (t.DivCycles - 1) * t.CycleNs
+	case isa.ClassALURI:
+		c.Regs[d.Dst] = isa.EvalALU(d.Op, c.Regs[d.Src1], d.Imm)
+	case isa.ClassALURIMul:
+		c.Regs[d.Dst] = isa.EvalALU(d.Op, c.Regs[d.Src1], d.Imm)
+		ns += (t.MulCycles - 1) * t.CycleNs
+	case isa.ClassMovI:
+		c.Regs[d.Dst] = d.Imm
+	case isa.ClassMov:
+		c.Regs[d.Dst] = c.Regs[d.Src1]
 
-	case in.Op == isa.OpLd, in.Op == isa.OpLdB:
+	case isa.ClassLd:
 		c.Counts.Loads++
-		v, mc := ms.Load(now+cost.Ns, c.Regs[in.Src1]+in.Imm, in.Op == isa.OpLdB)
-		c.Regs[in.Dst] = v
-		cost.Add(mc)
-	case in.Op == isa.OpSt, in.Op == isa.OpStB:
+		v, mc := ms.Load(now+ns, c.Regs[d.Src1]+d.Imm, false)
+		c.Regs[d.Dst] = v
+		ns += mc.Ns
+	case isa.ClassLdB:
+		c.Counts.Loads++
+		v, mc := ms.Load(now+ns, c.Regs[d.Src1]+d.Imm, true)
+		c.Regs[d.Dst] = v
+		ns += mc.Ns
+	case isa.ClassSt:
 		c.Counts.Stores++
-		mc := ms.Store(now+cost.Ns, c.Regs[in.Src1]+in.Imm, c.Regs[in.Src2], in.Op == isa.OpStB)
-		cost.Add(mc)
+		ns += ms.Store(now+ns, c.Regs[d.Src1]+d.Imm, c.Regs[d.Src2], false).Ns
+	case isa.ClassStB:
+		c.Counts.Stores++
+		ns += ms.Store(now+ns, c.Regs[d.Src1]+d.Imm, c.Regs[d.Src2], true).Ns
 
-	case in.Op.IsBranch():
+	case isa.ClassBranch:
 		c.Counts.Branches++
-		if isa.BranchTaken(in.Op, c.Regs[in.Src1], c.Regs[in.Src2]) {
-			next = int64(in.Target)
+		if isa.BranchTaken(d.Op, c.Regs[d.Src1], c.Regs[d.Src2]) {
+			next = int64(d.Target)
 		}
-	case in.Op == isa.OpJmp:
-		next = int64(in.Target)
-	case in.Op == isa.OpCall:
+	case isa.ClassJmp:
+		next = int64(d.Target)
+	case isa.ClassCall:
 		c.Counts.Calls++
 		c.Regs[isa.LR] = c.PC + 1
-		next = int64(in.Target)
-	case in.Op == isa.OpRet:
+		next = int64(d.Target)
+	case isa.ClassRet:
 		next = c.Regs[isa.LR]
-	case in.Op == isa.OpHalt:
+	case isa.ClassHalt:
 		c.Halted = true
 		next = c.PC
 
-	case in.Op == isa.OpCkptSt:
+	case isa.ClassCkptSt:
 		c.Counts.CkptStores++
-		mc := ms.Store(now+cost.Ns, ir.CkptSlotAddr(in.Src2), c.Regs[in.Src2], false)
-		cost.Add(mc)
-	case in.Op == isa.OpSavePC:
+		ns += ms.Store(now+ns, ir.CkptSlotAddr(d.Src2), c.Regs[d.Src2], false).Ns
+	case isa.ClassSavePC:
 		c.Counts.SavePCs++
-		mc := ms.Store(now+cost.Ns, ir.PCSlotAddr, in.Imm, false)
-		cost.Add(mc)
-	case in.Op == isa.OpRegionEnd:
+		ns += ms.Store(now+ns, ir.PCSlotAddr, d.Imm, false).Ns
+	case isa.ClassRegionEnd:
 		c.Counts.RegionEnds++
-		cost.Add(ms.RegionEnd(now + cost.Ns))
-	case in.Op == isa.OpClwb:
+		ns += ms.RegionEnd(now + ns).Ns
+	case isa.ClassClwb:
 		c.Counts.Clwbs++
-		cost.Add(ms.Clwb(now+cost.Ns, c.Regs[in.Src1]+in.Imm))
-	case in.Op == isa.OpFence:
+		ns += ms.Clwb(now+ns, c.Regs[d.Src1]+d.Imm).Ns
+	case isa.ClassFence:
 		c.Counts.Fences++
-		cost.Add(ms.Fence(now + cost.Ns))
+		ns += ms.Fence(now + ns).Ns
 
 	default:
-		panic(fmt.Sprintf("cpu: unknown op %v at pc %d", in.Op, c.PC))
+		panic(fmt.Sprintf("cpu: unknown class %d at pc %d", d.Class, c.PC))
 	}
 
 	c.PC = next
-	return cost
+	return ns, d.Class
 }
 
-func (c *CPU) aluExtra(op isa.Op, t StepTiming) int64 {
-	switch op {
-	case isa.OpMul, isa.OpMulI:
-		return (t.MulCycles - 1) * t.CycleNs
-	case isa.OpDiv, isa.OpRem:
-		return (t.DivCycles - 1) * t.CycleNs
-	}
-	return 0
-}
+// ClassAt returns the dispatch class of the instruction at pc.
+func (c *CPU) ClassAt(pc int64) isa.Class { return c.dec[pc].Class }

@@ -6,27 +6,36 @@ package energy
 
 import "math"
 
-// Capacitor is the energy store. Voltage is the state variable; energy
-// conversions use E = ½CV².
+// Capacitor is the energy store. Stored energy is the state variable —
+// Add and Draw are then plain additions with a clamp/floor, and the
+// square root is paid only when a caller actually asks for the voltage.
+// This matters because the simulation engine settles the capacitor on
+// every accounting interval; see docs/PERFORMANCE.md.
 type Capacitor struct {
 	C    float64 // farads
 	Vmax float64 // clamp voltage
-	v    float64
+	e    float64 // stored energy, joules
+	emax float64 // energy at Vmax
 }
 
 // NewCapacitor returns a capacitor charged to vInit.
 func NewCapacitor(c, vmax, vInit float64) *Capacitor {
-	return &Capacitor{C: c, Vmax: vmax, v: vInit}
+	cap := &Capacitor{C: c, Vmax: vmax, emax: 0.5 * c * vmax * vmax}
+	cap.SetVoltage(vInit)
+	return cap
 }
 
 // V returns the current voltage.
-func (c *Capacitor) V() float64 { return c.v }
+func (c *Capacitor) V() float64 { return math.Sqrt(2 * c.e / c.C) }
 
 // Energy returns the stored energy in joules.
-func (c *Capacitor) Energy() float64 { return 0.5 * c.C * c.v * c.v }
+func (c *Capacitor) Energy() float64 { return c.e }
 
 // SetVoltage forces the voltage (used for initialization).
-func (c *Capacitor) SetVoltage(v float64) { c.v = math.Min(v, c.Vmax) }
+func (c *Capacitor) SetVoltage(v float64) {
+	v = math.Min(v, c.Vmax)
+	c.e = 0.5 * c.C * v * v
+}
 
 // Add charges the capacitor by j joules, clamping at Vmax. Returns the
 // energy actually absorbed.
@@ -34,24 +43,23 @@ func (c *Capacitor) Add(j float64) float64 {
 	if j <= 0 {
 		return 0
 	}
-	e := c.Energy() + j
-	emax := 0.5 * c.C * c.Vmax * c.Vmax
+	e := c.e + j
 	absorbed := j
-	if e > emax {
-		absorbed -= e - emax
-		e = emax
+	if e > c.emax {
+		absorbed -= e - c.emax
+		e = c.emax
 	}
-	c.v = math.Sqrt(2 * e / c.C)
+	c.e = e
 	return absorbed
 }
 
 // Draw removes j joules, flooring at zero volts.
 func (c *Capacitor) Draw(j float64) {
-	e := c.Energy() - j
+	e := c.e - j
 	if e < 0 {
 		e = 0
 	}
-	c.v = math.Sqrt(2 * e / c.C)
+	c.e = e
 }
 
 // EnergyAt returns the stored energy the capacitor would hold at voltage v.

@@ -5,12 +5,12 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -148,36 +148,49 @@ func (c *Context) runMatrix(kinds []arch.Kind, profile *trace.Profile, p config.
 		}
 	}
 
-	var (
-		mu   sync.Mutex
-		wg   sync.WaitGroup
-		sem  = make(chan struct{}, runtime.NumCPU())
-		errs []error
-	)
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			var src trace.Source
-			if profile != nil {
-				src = trace.New(*profile, c.Seed)
-			}
-			res, err := c.runJob(j.w, j.k, p, src)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				errs = append(errs, fmt.Errorf("%s on %v: %w", j.w.Name, j.k, err))
-				return
-			}
-			m.Results[cell{j.w.Name, j.k}] = res
-		}(j)
+	// Fixed-size worker pool: exactly min(NumCPU, len(jobs)) goroutines
+	// exist at any moment, however large the matrix — the alternative
+	// (spawn per job, gate on a semaphore inside) stacks up one idle
+	// goroutine per queued cell. Results and errors land in indexed
+	// slots, so no mutex and no result reordering.
+	workers := runtime.NumCPU()
+	if workers > len(jobs) {
+		workers = len(jobs)
 	}
+	results := make([]*sim.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	jobCh := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobCh {
+				j := jobs[idx]
+				var src trace.Source
+				if profile != nil {
+					src = trace.NewShared(*profile, c.Seed)
+				}
+				res, err := c.runJob(j.w, j.k, p, src)
+				if err != nil {
+					errs[idx] = fmt.Errorf("%s on %v: %w", j.w.Name, j.k, err)
+					continue
+				}
+				results[idx] = res
+			}
+		}()
+	}
+	for i := range jobs {
+		jobCh <- i
+	}
+	close(jobCh)
 	wg.Wait()
-	if len(errs) > 0 {
-		sort.Slice(errs, func(i, k int) bool { return errs[i].Error() < errs[k].Error() })
-		return nil, errs[0]
+	// Report every failed cell, in job order, not just the first.
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	for i, j := range jobs {
+		m.Results[cell{j.w.Name, j.k}] = results[i]
 	}
 	return m, nil
 }
@@ -198,7 +211,16 @@ func (c *Context) runJob(w workloads.Workload, k arch.Kind, p config.Params, src
 		traceFile = f
 		tr = telemetry.NewTracer(telemetry.NewJSONLSink(f), 0)
 	}
-	res, err := core.RunTraced(c.builder(w), k, p, src, tr)
+	// Binaries come from the process-wide compile cache: schemes sharing
+	// a compiler mode (and figures sharing parameters) reuse one
+	// compilation instead of rebuilding per cell.
+	res, err := func() (*sim.Result, error) {
+		cres, err := core.SharedCompileCache().Get(core.KeyFor(w.Name, c.Scale, k, p), c.builder(w), k, p)
+		if err != nil {
+			return nil, err
+		}
+		return core.RunCompiled(cres, k, p, src, tr)
+	}()
 	if traceFile != nil {
 		if cerr := tr.Close(); cerr != nil && err == nil {
 			err = cerr

@@ -11,6 +11,11 @@ import (
 type Linked struct {
 	Prog *Program
 	Code []isa.Instr
+	// Dec is the predecoded dispatch table, position-matched to Code.
+	// It is built once here so every simulation of the binary — and
+	// every scheme sharing it out of the compile cache — dispatches
+	// through the dense class table instead of re-inspecting opcodes.
+	Dec []isa.Decoded
 	// EntryPC is the PC execution starts at.
 	EntryPC int32
 	// FuncStart[i] is the first PC of Prog.Funcs[i].
@@ -73,6 +78,7 @@ func Link(p *Program) (*Linked, error) {
 		}
 	}
 	l.EntryPC = l.FuncStart[p.Entry.Idx]
+	l.Dec = isa.Predecode(l.Code)
 	return l, nil
 }
 

@@ -1,0 +1,121 @@
+// Predecoded dispatch: the interpreter's inner loop wants a dense,
+// contiguous switch rather than the chained range tests the symbolic Op
+// space requires (IsALURR, IsALURI, ...). Class collapses every opcode
+// into one dispatch class — with multiply and divide split out so the
+// extra-latency lookup needs no second switch — and Decoded carries the
+// instruction fields pre-extracted. The linker predecodes a program once;
+// every simulation of that binary then dispatches through the table.
+package isa
+
+// Class is the dense dispatch class of an instruction.
+type Class uint8
+
+const (
+	ClassNop Class = iota
+	ClassALURR
+	ClassALURRMul // Mul: pays the multiplier's extra cycles
+	ClassALURRDiv // Div/Rem: pays the divider's extra cycles
+	ClassALURI
+	ClassALURIMul // MulI
+	ClassMovI
+	ClassMov
+	ClassLd
+	ClassLdB
+	ClassSt
+	ClassStB
+	ClassBranch
+	ClassJmp
+	ClassCall
+	ClassRet
+	ClassHalt
+	ClassCkptSt
+	ClassSavePC
+	ClassRegionEnd
+	ClassClwb
+	ClassFence
+
+	NumClasses
+)
+
+// Class returns the dispatch class of o. It panics on an opcode outside
+// the ISA, mirroring the interpreter's malformed-code contract.
+func (o Op) Class() Class {
+	switch {
+	case o == OpNop:
+		return ClassNop
+	case o == OpMul:
+		return ClassALURRMul
+	case o == OpDiv, o == OpRem:
+		return ClassALURRDiv
+	case o.IsALURR():
+		return ClassALURR
+	case o == OpMulI:
+		return ClassALURIMul
+	case o.IsALURI():
+		return ClassALURI
+	case o == OpMovI:
+		return ClassMovI
+	case o == OpMov:
+		return ClassMov
+	case o == OpLd:
+		return ClassLd
+	case o == OpLdB:
+		return ClassLdB
+	case o == OpSt:
+		return ClassSt
+	case o == OpStB:
+		return ClassStB
+	case o.IsBranch():
+		return ClassBranch
+	case o == OpJmp:
+		return ClassJmp
+	case o == OpCall:
+		return ClassCall
+	case o == OpRet:
+		return ClassRet
+	case o == OpHalt:
+		return ClassHalt
+	case o == OpCkptSt:
+		return ClassCkptSt
+	case o == OpSavePC:
+		return ClassSavePC
+	case o == OpRegionEnd:
+		return ClassRegionEnd
+	case o == OpClwb:
+		return ClassClwb
+	case o == OpFence:
+		return ClassFence
+	}
+	panic("isa: no dispatch class for " + o.String())
+}
+
+// Decoded is the predecoded form of one instruction: the dispatch class
+// plus every operand field extracted, sized so a program's decode table
+// stays cache-resident alongside its code.
+type Decoded struct {
+	Class  Class
+	Op     Op // retained for EvalALU and diagnostics
+	Dst    Reg
+	Src1   Reg
+	Src2   Reg
+	Target int32
+	Imm    int64
+}
+
+// Predecode builds the dispatch table for code. The result is immutable
+// and position-matched: dec[pc] describes code[pc].
+func Predecode(code []Instr) []Decoded {
+	dec := make([]Decoded, len(code))
+	for i, in := range code {
+		dec[i] = Decoded{
+			Class:  in.Op.Class(),
+			Op:     in.Op,
+			Dst:    in.Dst,
+			Src1:   in.Src1,
+			Src2:   in.Src2,
+			Target: in.Target,
+			Imm:    in.Imm,
+		}
+	}
+	return dec
+}

@@ -7,7 +7,10 @@
 // only stores data and counts traffic.
 package mem
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // LineSize is the cacheline (and persist-buffer entry) granularity in
 // bytes, fixed at 64 as in the paper.
@@ -23,6 +26,12 @@ type NVM struct {
 	pages map[int64]*[pageSize]byte
 	size  int64
 
+	// One-entry page cache: simulated accesses are heavily clustered, so
+	// remembering the last page touched turns most map lookups into a
+	// single compare.
+	lastBase int64
+	lastPage *[pageSize]byte
+
 	// Traffic counters. Reads/Writes count word- or byte-granular
 	// accesses; LineReads/LineWrites count 64-byte transfers (cache
 	// fills, writebacks, buffer traffic).
@@ -34,7 +43,7 @@ type NVM struct {
 
 // New returns an NVM of the given byte capacity.
 func New(size int64) *NVM {
-	return &NVM{pages: map[int64]*[pageSize]byte{}, size: size}
+	return &NVM{pages: map[int64]*[pageSize]byte{}, size: size, lastBase: -1}
 }
 
 // Size returns the configured capacity in bytes.
@@ -45,11 +54,15 @@ func (m *NVM) page(addr int64) *[pageSize]byte {
 		panic(fmt.Sprintf("mem: address %#x out of range [0,%#x)", addr, m.size))
 	}
 	base := addr &^ (pageSize - 1)
+	if base == m.lastBase {
+		return m.lastPage
+	}
 	p := m.pages[base]
 	if p == nil {
 		p = new([pageSize]byte)
 		m.pages[base] = p
 	}
+	m.lastBase, m.lastPage = base, p
 	return p
 }
 
@@ -65,7 +78,11 @@ func (m *NVM) pokeByte(addr int64, v byte) {
 // PeekWord reads a little-endian 64-bit word without counting traffic;
 // used by recovery protocols, initialization, and tests.
 func (m *NVM) PeekWord(addr int64) int64 {
-	var v uint64
+	if off := addr & (pageSize - 1); off <= pageSize-8 && addr >= 0 && addr+8 <= m.size {
+		p := m.page(addr)
+		return int64(binary.LittleEndian.Uint64(p[off : off+8]))
+	}
+	var v uint64 // word straddles a page boundary: byte-at-a-time
 	for i := int64(0); i < 8; i++ {
 		v |= uint64(m.peekByte(addr+i)) << (8 * i)
 	}
@@ -74,6 +91,11 @@ func (m *NVM) PeekWord(addr int64) int64 {
 
 // PokeWord writes a word without counting traffic.
 func (m *NVM) PokeWord(addr, val int64) {
+	if off := addr & (pageSize - 1); off <= pageSize-8 && addr >= 0 && addr+8 <= m.size {
+		p := m.page(addr)
+		binary.LittleEndian.PutUint64(p[off:off+8], uint64(val))
+		return
+	}
 	for i := int64(0); i < 8; i++ {
 		m.pokeByte(addr+i, byte(uint64(val)>>(8*i)))
 	}
@@ -110,6 +132,10 @@ func (m *NVM) WriteByteAt(addr int64, v byte) {
 // counting one line read.
 func (m *NVM) ReadLine(addr int64, dst *[LineSize]byte) {
 	m.LineReads++
+	if off := addr & (pageSize - 1); off&(LineSize-1) == 0 && addr >= 0 && addr+LineSize <= m.size {
+		copy(dst[:], m.page(addr)[off:off+LineSize])
+		return
+	}
 	for i := int64(0); i < LineSize; i++ {
 		dst[i] = m.peekByte(addr + i)
 	}
@@ -118,6 +144,10 @@ func (m *NVM) ReadLine(addr int64, dst *[LineSize]byte) {
 // PokeLine writes a 64-byte line without counting traffic (used for
 // rename-commit mapping switches and test setup).
 func (m *NVM) PokeLine(addr int64, src *[LineSize]byte) {
+	if off := addr & (pageSize - 1); off&(LineSize-1) == 0 && addr >= 0 && addr+LineSize <= m.size {
+		copy(m.page(addr)[off:off+LineSize], src[:])
+		return
+	}
 	for i := int64(0); i < LineSize; i++ {
 		m.pokeByte(addr+i, src[i])
 	}
@@ -126,9 +156,7 @@ func (m *NVM) PokeLine(addr int64, src *[LineSize]byte) {
 // WriteLine writes a 64-byte line, counting one line write.
 func (m *NVM) WriteLine(addr int64, src *[LineSize]byte) {
 	m.LineWrites++
-	for i := int64(0); i < LineSize; i++ {
-		m.pokeByte(addr+i, src[i])
-	}
+	m.PokeLine(addr, src)
 }
 
 // ResetCounters zeroes the traffic counters, keeping contents.

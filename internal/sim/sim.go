@@ -17,10 +17,12 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 
 	"repro/internal/arch"
+	"repro/internal/config"
 	"repro/internal/cpu"
 	"repro/internal/energy"
 	"repro/internal/ir"
@@ -45,6 +47,14 @@ type Options struct {
 	// Tracer receives the run's telemetry events; nil (the default)
 	// disables tracing at the cost of one branch per emit site.
 	Tracer *telemetry.Tracer
+	// Precise forces the reference engine: capacitor settlement (ledger
+	// sum, harvest integration, draw) after every retired instruction.
+	// The default engine batches settlements over epochs sized so that
+	// no voltage trigger can fire inside one, falling back to precise
+	// stepping near the thresholds; TestBatchedMatchesPrecise proves the
+	// two produce byte-identical results and telemetry. Precise remains
+	// for differential testing and debugging. See docs/PERFORMANCE.md.
+	Precise bool
 }
 
 // Result is everything measured during a run.
@@ -230,6 +240,53 @@ func InitNVM(s arch.Scheme, l *ir.Linked) {
 	nvm.PokeWord(ir.PCSlotAddr, int64(l.EntryPC))
 }
 
+// epochMaxInstrNs is the engine's working bound on a single instruction's
+// latency when sizing batched-accounting epochs. It is a planning margin,
+// not a hard ISA limit: epochs are closed early enough that one more
+// instruction of this length still fits inside the current power-trace
+// segment, and an instruction that blows past it (a deep persist-buffer
+// drain) closes the epoch immediately after retiring.
+const epochMaxInstrNs = 16_384
+
+// minEpochInstrs is the smallest epoch worth opening: below this the
+// budget-check and settlement overhead cancel the savings, so the engine
+// just steps precisely.
+const minEpochInstrs = 64
+
+// quantV quantizes a reported voltage to 1 µV. Telemetry voltage fields
+// exist for humans and plots; quantizing them makes the JSONL stream
+// insensitive to ULP-level differences in capacitor state between the
+// batched and precise engines, keeping their traces byte-identical.
+func quantV(v float64) float64 { return math.Round(v*1e6) / 1e6 }
+
+// runner is one simulation run's mutable state, shared by the three
+// engine loops (precise, outage-free, batched) and the power-event
+// handlers so that all paths drive identical protocol code.
+type runner struct {
+	l      *ir.Linked
+	s      arch.Scheme
+	ms     cpu.MemSystem // s, converted once: keeps convI2I off the hot loop
+	opt    Options
+	p      config.Params
+	core   *cpu.CPU
+	led    *energy.Ledger
+	cap    *energy.Capacitor
+	cursor *trace.Cursor
+	tr     *telemetry.Tracer
+	res    *Result
+	timing cpu.StepTiming
+
+	now          int64
+	armed        bool
+	regionInstrs int
+
+	// Forward-progress guard: a configuration whose per-cycle energy
+	// window cannot cover even one instruction (plus its own restore
+	// draw) would power-cycle forever.
+	lastOutageExec uint64
+	zeroProgress   int
+}
+
 // Run executes the linked program on the scheme until it halts.
 func Run(l *ir.Linked, s arch.Scheme, opt Options) (*Result, error) {
 	p := s.Params()
@@ -244,197 +301,414 @@ func Run(l *ir.Linked, s arch.Scheme, opt Options) (*Result, error) {
 	}
 
 	InitNVM(s, l)
-	tr := opt.Tracer
-	s.SetTracer(tr)
-	core := cpu.New(l.Code, int64(l.EntryPC))
+	s.SetTracer(opt.Tracer)
+	core := cpu.NewLinked(l)
+	if ff, ok := s.(cpu.FreeFetcher); ok && ff.FetchIsFree() {
+		core.SetFetchFree(true)
+	}
 	s.Boot(int64(l.EntryPC))
-	led := s.Ledger()
-	timing := cpu.StepTiming{CycleNs: p.CycleNs, MulCycles: p.MulCycles, DivCycles: p.DivCycles}
 
-	res := &Result{Scheme: s.Name(), RegionSizes: stats.NewHist(opt.RegionHistMax)}
-
-	cap := energy.NewCapacitor(p.CapacitorF, p.Vmax, p.Vmax)
-	var cursor *trace.Cursor
+	r := &runner{
+		l:      l,
+		s:      s,
+		ms:     s,
+		opt:    opt,
+		p:      p,
+		core:   core,
+		led:    s.Ledger(),
+		cap:    energy.NewCapacitor(p.CapacitorF, p.Vmax, p.Vmax),
+		tr:     opt.Tracer,
+		res:    &Result{Scheme: s.Name(), RegionSizes: stats.NewHist(opt.RegionHistMax)},
+		timing: cpu.StepTiming{CycleNs: p.CycleNs, MulCycles: p.MulCycles, DivCycles: p.DivCycles},
+		armed:  true,
+	}
 	if opt.Source != nil {
-		cursor = trace.NewCursor(opt.Source)
+		r.cursor = trace.NewCursor(opt.Source)
 	}
 
-	now := int64(0)
-	armed := true
-	regionInstrs := 0
-	// Forward-progress guard: a configuration whose per-cycle energy
-	// window cannot cover even one instruction (plus its own restore
-	// draw) would power-cycle forever.
-	lastOutageExec := uint64(0)
-	zeroProgress := 0
-
-	// drawRun charges the capacitor with harvest and drains run power
-	// over an interval where the core is on but not retiring
-	// instructions (backup, restore, detection delays).
-	drawRun := func(dt int64) {
-		if dt <= 0 {
-			return
-		}
-		sec := float64(dt) * 1e-9
-		led.Compute += p.PRun * sec
-		if cursor != nil {
-			cap.Add(cursor.Harvest(dt))
-		}
-		cap.Draw(p.PRun * sec)
-		now += dt
-		res.RunNs += dt
+	var err error
+	switch {
+	case opt.Precise:
+		err = r.runPrecise()
+	case r.cursor == nil:
+		err = r.runOutageFree()
+	default:
+		err = r.runBatched()
 	}
+	if err != nil {
+		return r.res, err
+	}
+	r.finish()
+	return r.res, nil
+}
 
-	// powerCycle sleeps through a recharge and restores the scheme.
-	powerCycle := func() error {
-		if core.Counts.Executed == lastOutageExec {
-			zeroProgress++
-			if zeroProgress > 256 {
-				return fmt.Errorf("sim: no forward progress on %s — energy window too small for its backup/restore costs", s.Name())
-			}
-		} else {
-			zeroProgress = 0
+// budgetErr builds the instruction-budget error all engine loops share.
+func (r *runner) budgetErr() error {
+	return fmt.Errorf("sim: instruction budget (%d) exceeded on %s", r.opt.MaxInstructions, r.s.Name())
+}
+
+// drawRun charges the capacitor with harvest and drains run power over an
+// interval where the core is on but not retiring instructions (backup,
+// restore, detection delays).
+func (r *runner) drawRun(dt int64) {
+	if dt <= 0 {
+		return
+	}
+	sec := float64(dt) * 1e-9
+	r.led.Compute += r.p.PRun * sec
+	if r.cursor != nil {
+		r.cap.Add(r.cursor.Harvest(dt))
+	}
+	r.cap.Draw(r.p.PRun * sec)
+	r.now += dt
+	r.res.RunNs += dt
+}
+
+// powerCycle sleeps through a recharge and restores the scheme.
+func (r *runner) powerCycle() error {
+	p, s, core, led, cap, res := r.p, r.s, r.core, r.led, r.cap, r.res
+	if core.Counts.Executed == r.lastOutageExec {
+		r.zeroProgress++
+		if r.zeroProgress > 256 {
+			return fmt.Errorf("sim: no forward progress on %s — energy window too small for its backup/restore costs", s.Name())
 		}
-		lastOutageExec = core.Counts.Executed
-		if debugOutages {
-			fmt.Printf("OUTAGE %d at now=%d pc=%d executed=%d V=%.3f r0=%d\n", res.Outages, now, core.PC, core.Counts.Executed, cap.V(), core.Regs[0])
-		}
-		res.Outages++
-		tr.Emit(telemetry.EvOutageBegin, now, int64(res.Outages), 0, 0, cap.V())
-		chargeBefore := res.ChargeNs
-		s.PowerFail(now)
-		elapsed, ok := cursor.ChargeUntil(cap, p.VRestore, p.PSleep, opt.StagnationNs, led)
-		now += elapsed
+	} else {
+		r.zeroProgress = 0
+	}
+	r.lastOutageExec = core.Counts.Executed
+	if debugOutages {
+		fmt.Printf("OUTAGE %d at now=%d pc=%d executed=%d V=%.3f r0=%d\n", res.Outages, r.now, core.PC, core.Counts.Executed, cap.V(), core.Regs[0])
+	}
+	res.Outages++
+	r.tr.Emit(telemetry.EvOutageBegin, r.now, int64(res.Outages), 0, 0, quantV(cap.V()))
+	chargeBefore := res.ChargeNs
+	s.PowerFail(r.now)
+	elapsed, ok := r.cursor.ChargeUntil(cap, p.VRestore, p.PSleep, r.opt.StagnationNs, led)
+	r.now += elapsed
+	res.ChargeNs += elapsed
+	if !ok {
+		return fmt.Errorf("%w (scheme %s, %.1f ms waited)", ErrStagnation, s.Name(), float64(elapsed)/1e6)
+	}
+	// Restore propagation delay (T_plh) at sleep draw.
+	sec := float64(p.RestoreDelayNs) * 1e-9
+	led.Sleep += p.PSleep * sec
+	cap.Draw(p.PSleep * sec)
+	cap.Add(r.cursor.Harvest(p.RestoreDelayNs))
+	r.now += p.RestoreDelayNs
+	res.ChargeNs += p.RestoreDelayNs
+
+	before := led.Total()
+	restoreStart := r.now
+	pc, rcost := s.Restore(r.now, &core.Regs)
+	if debugOutages {
+		fmt.Printf("  RESTORE -> pc=%d V=%.3f r0=%d r13=%d\n", pc, cap.V(), core.Regs[0], core.Regs[13])
+	}
+	r.tr.Emit(telemetry.EvRestore, restoreStart, pc, rcost.Ns, 0, 0)
+	core.PC = pc
+	cap.Draw(led.Total() - before)
+	r.drawRun(rcost.Ns)
+	res.RestoreNs += rcost.Ns
+	// The restoration itself was fed while still tethered to the
+	// charging path: top the capacitor back up to the restore
+	// threshold before execution resumes, so arbitrarily expensive
+	// restores lengthen the charge instead of eating the run window.
+	if cap.V() < p.VRestore {
+		elapsed, ok := r.cursor.ChargeUntil(cap, p.VRestore, p.PSleep, r.opt.StagnationNs, led)
+		r.now += elapsed
 		res.ChargeNs += elapsed
 		if !ok {
-			return fmt.Errorf("%w (scheme %s, %.1f ms waited)", ErrStagnation, s.Name(), float64(elapsed)/1e6)
+			return fmt.Errorf("%w (scheme %s, restore top-up)", ErrStagnation, s.Name())
 		}
-		// Restore propagation delay (T_plh) at sleep draw.
-		sec := float64(p.RestoreDelayNs) * 1e-9
-		led.Sleep += p.PSleep * sec
-		cap.Draw(p.PSleep * sec)
-		cap.Add(cursor.Harvest(p.RestoreDelayNs))
-		now += p.RestoreDelayNs
-		res.ChargeNs += p.RestoreDelayNs
-
-		before := led.Total()
-		restoreStart := now
-		pc, rcost := s.Restore(now, &core.Regs)
-		if debugOutages {
-			fmt.Printf("  RESTORE -> pc=%d V=%.3f r0=%d r13=%d\n", pc, cap.V(), core.Regs[0], core.Regs[13])
-		}
-		tr.Emit(telemetry.EvRestore, restoreStart, pc, rcost.Ns, 0, 0)
-		core.PC = pc
-		cap.Draw(led.Total() - before)
-		drawRun(rcost.Ns)
-		res.RestoreNs += rcost.Ns
-		// The restoration itself was fed while still tethered to the
-		// charging path: top the capacitor back up to the restore
-		// threshold before execution resumes, so arbitrarily expensive
-		// restores lengthen the charge instead of eating the run window.
-		if cap.V() < p.VRestore {
-			elapsed, ok := cursor.ChargeUntil(cap, p.VRestore, p.PSleep, opt.StagnationNs, led)
-			now += elapsed
-			res.ChargeNs += elapsed
-			if !ok {
-				return fmt.Errorf("%w (scheme %s, restore top-up)", ErrStagnation, s.Name())
-			}
-		}
-		regionInstrs = 0
-		armed = true
-		tr.Emit(telemetry.EvOutageEnd, now, int64(res.Outages), res.ChargeNs-chargeBefore, 0, cap.V())
-		return nil
 	}
+	r.regionInstrs = 0
+	r.armed = true
+	r.tr.Emit(telemetry.EvOutageEnd, r.now, int64(res.Outages), res.ChargeNs-chargeBefore, 0, quantV(cap.V()))
+	return nil
+}
 
-	for !core.Halted {
-		if core.Counts.Executed >= opt.MaxInstructions {
-			return res, fmt.Errorf("sim: instruction budget (%d) exceeded on %s", opt.MaxInstructions, s.Name())
+// preInstrEvents runs the pre-instruction power protocol: structural
+// backups, the voltage-triggered JIT backup, the Vmin brown-out, and
+// re-arming. It reports handled=true when a power cycle consumed the slot
+// and the caller must re-enter its loop from the top.
+func (r *runner) preInstrEvents() (handled bool, err error) {
+	p, s, core, led, cap := r.p, r.s, r.core, r.led, r.cap
+	// Structural backup request (NvMR rename-table full).
+	if s.JIT() && s.NeedsBackup() {
+		before := led.Total()
+		bcost := s.Backup(r.now, &core.Regs, core.PC)
+		r.tr.Emit(telemetry.EvBackup, r.now, core.PC, bcost.Ns, 0, 0)
+		cap.Draw(led.Total() - before)
+		r.drawRun(bcost.Ns)
+	}
+	// Voltage-triggered JIT backup.
+	if s.JIT() && r.armed && cap.V() <= p.VBackup {
+		r.drawRun(p.BackupDelayNs) // T_phl detection delay
+		before := led.Total()
+		bcost := s.Backup(r.now, &core.Regs, core.PC)
+		r.tr.Emit(telemetry.EvBackup, r.now, core.PC, bcost.Ns, 0, 0)
+		cap.Draw(led.Total() - before)
+		r.drawRun(bcost.Ns)
+		r.armed = false
+		if !s.ContinuesAfterBackup() {
+			return true, r.powerCycle()
 		}
-		if cursor != nil {
-			// Structural backup request (NvMR rename-table full).
-			if s.JIT() && s.NeedsBackup() {
-				before := led.Total()
-				bcost := s.Backup(now, &core.Regs, core.PC)
-				tr.Emit(telemetry.EvBackup, now, core.PC, bcost.Ns, 0, 0)
-				cap.Draw(led.Total() - before)
-				drawRun(bcost.Ns)
+	}
+	// Hard brown-out: SweepCache by design, NvMR while
+	// speculating past its backup.
+	if cap.V() < p.Vmin {
+		return true, r.powerCycle()
+	}
+	// Re-arm once the source lifts the voltage back up
+	// (NvMR keeps executing through this window).
+	if s.JIT() && !r.armed && cap.V() > p.VBackup+0.02 {
+		r.armed = true
+	}
+	return false, nil
+}
+
+// preStepEmit reports compiler-inserted checkpoint activity. Callers only
+// invoke it when a tracer is attached, keeping the per-instruction switch
+// off the disabled hot path.
+func (r *runner) preStepEmit() {
+	d := &r.l.Dec[r.core.PC]
+	switch d.Class {
+	case isa.ClassCkptSt:
+		r.tr.Emit(telemetry.EvCkptStore, r.now, int64(d.Src2), 0, 0, 0)
+	case isa.ClassSavePC:
+		r.tr.Emit(telemetry.EvSavePC, r.now, d.Imm, 0, 0, 0)
+	}
+}
+
+// noteRegion maintains the region-size histogram after an instruction of
+// dispatch class cl retires.
+func (r *runner) noteRegion(cl isa.Class) {
+	if cl == isa.ClassRegionEnd || cl == isa.ClassFence {
+		r.res.RegionSizes.Add(r.regionInstrs)
+		r.regionInstrs = 0
+	} else {
+		r.regionInstrs++
+	}
+}
+
+// stepPrecise retires one instruction with immediate capacitor
+// settlement — the reference accounting sequence both the precise engine
+// and the batched engine's near-threshold fallback execute.
+func (r *runner) stepPrecise() {
+	if r.tr != nil {
+		r.preStepEmit()
+	}
+	before := r.led.Total()
+	ns, cl := r.core.StepFast(r.now, r.ms, r.timing)
+	r.led.Compute += r.p.EInstr + r.p.PRun*float64(ns)*1e-9
+	if r.cursor != nil {
+		r.cap.Add(r.cursor.Harvest(ns))
+	}
+	r.cap.Draw(r.led.Total() - before)
+	r.now += ns
+	r.res.RunNs += ns
+	r.noteRegion(cl)
+}
+
+// runPrecise is the reference engine: power events checked and capacitor
+// settled before/after every instruction.
+func (r *runner) runPrecise() error {
+	for !r.core.Halted {
+		if r.core.Counts.Executed >= r.opt.MaxInstructions {
+			return r.budgetErr()
+		}
+		if r.cursor != nil {
+			handled, err := r.preInstrEvents()
+			if err != nil {
+				return err
 			}
-			// Voltage-triggered JIT backup.
-			if s.JIT() && armed && cap.V() <= p.VBackup {
-				drawRun(p.BackupDelayNs) // T_phl detection delay
-				before := led.Total()
-				bcost := s.Backup(now, &core.Regs, core.PC)
-				tr.Emit(telemetry.EvBackup, now, core.PC, bcost.Ns, 0, 0)
-				cap.Draw(led.Total() - before)
-				drawRun(bcost.Ns)
-				armed = false
-				if !s.ContinuesAfterBackup() {
-					if err := powerCycle(); err != nil {
-						return res, err
-					}
-					continue
-				}
-			}
-			// Hard brown-out: SweepCache by design, NvMR while
-			// speculating past its backup.
-			if cap.V() < p.Vmin {
-				if err := powerCycle(); err != nil {
-					return res, err
-				}
+			if handled {
 				continue
 			}
-			// Re-arm once the source lifts the voltage back up
-			// (NvMR keeps executing through this window).
-			if s.JIT() && !armed && cap.V() > p.VBackup+0.02 {
-				armed = true
-			}
 		}
+		r.stepPrecise()
+	}
+	return nil
+}
 
-		in := &l.Code[core.PC]
-		op := in.Op
+// runOutageFree is the ideal-supply engine (the Figure 5 configuration).
+// With no power trace the capacitor can never cross a threshold and
+// nothing observable ever reads it, so the loop carries no capacitor work
+// at all. The ledger — which IS observable — is maintained with exactly
+// the precise path's per-instruction arithmetic, so results stay
+// byte-identical with Options.Precise.
+func (r *runner) runOutageFree() error {
+	p, core, led, tr := r.p, r.core, r.led, r.tr
+	ms, timing := r.ms, r.timing
+	max := r.opt.MaxInstructions
+	hist := r.res.RegionSizes
+	// Loop state lives in plain locals (no closure captures them, so they
+	// stay in registers across the interpreter call); synced back on loop
+	// exit, and before any emit, which reads r.now.
+	now, runNs, ri := r.now, r.res.RunNs, r.regionInstrs
+	for !core.Halted {
+		if core.Counts.Executed >= max {
+			break
+		}
 		if tr != nil {
-			// Compiler-inserted checkpoint stores; the nil guard keeps the
-			// per-instruction switch off the disabled hot path.
-			switch op {
-			case isa.OpCkptSt:
-				tr.Emit(telemetry.EvCkptStore, now, int64(in.Src2), 0, 0, 0)
-			case isa.OpSavePC:
-				tr.Emit(telemetry.EvSavePC, now, in.Imm, 0, 0, 0)
-			}
+			r.now = now
+			r.preStepEmit()
 		}
-		before := led.Total()
-		st := core.Step(now, s, timing)
-		led.Compute += p.EInstr + p.PRun*float64(st.Ns)*1e-9
-		if cursor != nil {
-			cap.Add(cursor.Harvest(st.Ns))
-		}
-		cap.Draw(led.Total() - before)
-		now += st.Ns
-		res.RunNs += st.Ns
-
-		if op == isa.OpRegionEnd || op == isa.OpFence {
-			res.RegionSizes.Add(regionInstrs)
-			regionInstrs = 0
+		ns, cl := core.StepFast(now, ms, timing)
+		led.Compute += p.EInstr + p.PRun*float64(ns)*1e-9
+		now += ns
+		runNs += ns
+		if cl == isa.ClassRegionEnd || cl == isa.ClassFence {
+			hist.Add(ri)
+			ri = 0
 		} else {
-			regionInstrs++
+			ri++
 		}
 	}
+	r.now, r.res.RunNs, r.regionInstrs = now, runNs, ri
+	if !core.Halted {
+		return r.budgetErr()
+	}
+	return nil
+}
 
-	s.Sync(now + 1<<40) // settle all background persistence
-	s.Finalize()        // drain volatile leftovers so the NVM image is observable
-	tr.Emit(telemetry.EvHalt, now, int64(core.Counts.Executed), 0, 0, 0)
+// epochBudget returns the energy (joules) the engine may consume under
+// one deferred settlement, or 0 when it must fall back to precise
+// stepping: while a JIT scheme is disarmed (the re-arm crossing needs
+// per-instruction voltage), when the source out-powers the core (voltage
+// rising toward a re-arm or Vmax clamp), near the Vmax clamp itself, too
+// close to the end of the current power-trace segment, or simply too
+// close to a trigger threshold for a worthwhile epoch.
+//
+// The budget is half the slack between the present stored energy and the
+// highest trigger floor. Draw is bounded by the ledger delta regardless
+// of harvest, so before every instruction of the epoch the capacitor
+// provably holds more than any trigger threshold — the precise path's
+// voltage comparisons could not have fired and are skipped wholesale.
+func (r *runner) epochBudget(jit bool) float64 {
+	if jit && !r.armed {
+		return 0
+	}
+	pseg := r.cursor.Power()
+	if pseg >= r.p.PRun {
+		return 0
+	}
+	if r.cursor.SegmentRemaining() < 2*epochMaxInstrNs {
+		return 0
+	}
+	eNow := r.cap.Energy()
+	// Clamp guard: the precise path adds each instruction's harvest
+	// before drawing its cost; if that transient could reach Vmax the
+	// clamp would discard energy that batched settlement keeps.
+	if r.cap.EnergyAt(r.p.Vmax)-eNow <= 2*pseg*epochMaxInstrNs*1e-9 {
+		return 0
+	}
+	floor := r.cap.EnergyAt(r.p.Vmin)
+	if jit {
+		if eb := r.cap.EnergyAt(r.p.VBackup); eb > floor {
+			floor = eb
+		}
+	}
+	budget := (eNow - floor) / 2
+	minWorthwhile := minEpochInstrs * (r.p.EInstr + r.p.PRun*float64(r.p.CycleNs)*1e-9)
+	if budget <= minWorthwhile {
+		return 0
+	}
+	return budget
+}
 
+// runEpoch retires instructions under one deferred capacitor settlement.
+// The epoch closes when the ledger delta reaches the budget, when the
+// next instruction might not fit in the current power-trace segment, on
+// a structural backup request, on halt, or at the instruction budget.
+func (r *runner) runEpoch(jit bool, budget float64) {
+	p, core, led, tr, s := r.p, r.core, r.led, r.tr, r.s
+	ms, timing := r.ms, r.timing
+	max := r.opt.MaxInstructions
+	hist := r.res.RegionSizes
+	ledStart := led.Total()
+	segRem := r.cursor.SegmentRemaining()
+	now, runNs, ri := r.now, r.res.RunNs, r.regionInstrs
+	var epochNs int64
+	for {
+		if jit && s.NeedsBackup() {
+			break
+		}
+		if core.Counts.Executed >= max {
+			break
+		}
+		if tr != nil {
+			r.now = now
+			r.preStepEmit()
+		}
+		ns, cl := core.StepFast(now, ms, timing)
+		led.Compute += p.EInstr + p.PRun*float64(ns)*1e-9
+		now += ns
+		runNs += ns
+		epochNs += ns
+		if cl == isa.ClassRegionEnd || cl == isa.ClassFence {
+			hist.Add(ri)
+			ri = 0
+		} else {
+			ri++
+		}
+		if core.Halted || ns >= epochMaxInstrNs ||
+			led.Total()-ledStart >= budget ||
+			epochNs+epochMaxInstrNs >= segRem {
+			break
+		}
+	}
+	r.now, r.res.RunNs, r.regionInstrs = now, runNs, ri
+	// Settle: draw first — the epoch invariant keeps the floor distant,
+	// and with the source weaker than the run draw the net flow is
+	// negative, so this order can touch neither the zero floor nor the
+	// Vmax clamp.
+	r.cap.Draw(led.Total() - ledStart)
+	r.cap.Add(r.cursor.Harvest(epochNs))
+}
+
+// runBatched is the production engine for harvested-power runs: the
+// power protocol of runPrecise at every epoch boundary, with the
+// per-instruction capacitor work amortized across whole epochs whenever
+// the stored energy is provably far from every trigger threshold.
+func (r *runner) runBatched() error {
+	jit := r.s.JIT()
+	for !r.core.Halted {
+		if r.core.Counts.Executed >= r.opt.MaxInstructions {
+			return r.budgetErr()
+		}
+		handled, err := r.preInstrEvents()
+		if err != nil {
+			return err
+		}
+		if handled {
+			continue
+		}
+		if budget := r.epochBudget(jit); budget > 0 {
+			r.runEpoch(jit, budget)
+		} else {
+			r.stepPrecise()
+		}
+	}
+	return nil
+}
+
+// finish settles background persistence and fills the result.
+func (r *runner) finish() {
+	r.s.Sync(r.now + 1<<40) // settle all background persistence
+	r.s.Finalize()          // drain volatile leftovers so the NVM image is observable
+	r.tr.Emit(telemetry.EvHalt, r.now, int64(r.core.Counts.Executed), 0, 0, 0)
+
+	res := r.res
 	res.Halted = true
-	res.TimeNs = now
-	res.Counts = core.Counts
-	res.Ledger = *led
-	res.Arch = *s.Stats()
-	if c := s.Cache(); c != nil {
+	res.TimeNs = r.now
+	res.Counts = r.core.Counts
+	res.Ledger = *r.led
+	res.Arch = *r.s.Stats()
+	if c := r.s.Cache(); c != nil {
 		res.CacheHits, res.CacheMisses, res.DirtyEvictions = c.Hits, c.Misses, c.DirtyEvictions
 	}
-	nvm := s.NVM()
+	nvm := r.s.NVM()
 	res.NVMReads, res.NVMWrites = nvm.Reads, nvm.Writes
 	res.NVMLineReads, res.NVMLineWrites = nvm.LineReads, nvm.LineWrites
 	res.NVM = nvm
-	return res, nil
 }

@@ -37,6 +37,15 @@ func (c *Cursor) Power() float64 {
 	return c.power
 }
 
+// SegmentRemaining returns the nanoseconds left in the current
+// piecewise-constant segment — the window over which Power() is exact.
+// The simulation engine sizes its batched accounting epochs to stay
+// inside this window so its harvest-rate bound holds.
+func (c *Cursor) SegmentRemaining() int64 {
+	c.refill()
+	return c.remaining
+}
+
 // Harvest advances the timeline by dt nanoseconds and returns the energy
 // harvested over it.
 func (c *Cursor) Harvest(dt int64) float64 {
