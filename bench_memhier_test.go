@@ -1,0 +1,121 @@
+// Memory-hierarchy micro-benchmarks: the fast paths this package's hot
+// loops lean on — cache probe/touch, WBI-driven dirty sweeps, epoch
+// invalidation, and the indexed persist-buffer search. These isolate the
+// functional-state operations from the engine, so a regression in the
+// SoA layout or the youngest-entry index shows up directly.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/mem"
+	"repro/internal/persist"
+)
+
+// benchCache builds the Table 1 cache geometry, fully populated.
+func benchCache(b *testing.B) *cache.Cache {
+	b.Helper()
+	p := config.Default()
+	c := cache.New(p.CacheSize, p.CacheWays)
+	var data [mem.LineSize]byte
+	for la := int64(0); la < int64(p.CacheSize); la += mem.LineSize {
+		c.Fill(la, &data)
+	}
+	return c
+}
+
+// BenchmarkCacheProbeHit: the hottest path of every load/store — a probe
+// that hits, usually through the per-set MRU hint.
+func BenchmarkCacheProbeHit(b *testing.B) {
+	c := benchCache(b)
+	addrs := [8]int64{0, 64, 128, 512, 1024, 2048, 3072, 4032}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.Probe(addrs[i&7]) == cache.NoSlot {
+			b.Fatal("unexpected miss")
+		}
+	}
+}
+
+// BenchmarkCacheProbeMiss: a probe that scans every way and misses.
+func BenchmarkCacheProbeMiss(b *testing.B) {
+	c := benchCache(b)
+	p := config.Default()
+	miss := int64(p.CacheSize) * 4 // same sets, absent tags
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.Probe(miss+int64(i&7)*64) != cache.NoSlot {
+			b.Fatal("unexpected hit")
+		}
+	}
+}
+
+// BenchmarkCacheDirtySweep: the region-end flush enumeration — mark a
+// spread of lines dirty, walk them via the incremental dirty list, clear.
+func BenchmarkCacheDirtySweep(b *testing.B) {
+	c := benchCache(b)
+	var slots []int
+	for la := int64(0); la < int64(config.Default().CacheSize); la += 4 * mem.LineSize {
+		slots = append(slots, c.Probe(la))
+	}
+	var scratch []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range slots {
+			c.MarkDirtyRegion(s, uint64(i))
+		}
+		scratch = c.DirtySlots(scratch[:0])
+		for _, s := range scratch {
+			c.ClearDirty(s)
+		}
+	}
+}
+
+// BenchmarkCacheInvalidate: the outage path — epoch-tagged invalidation
+// of a fully populated cache (formerly a zeroing scan).
+func BenchmarkCacheInvalidate(b *testing.B) {
+	c := benchCache(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Invalidate()
+	}
+}
+
+// BenchmarkBufferSearchHit: persist-buffer search resolving a miss from
+// the youngest-entry index while modelling the sequential probe depth.
+func BenchmarkBufferSearchHit(b *testing.B) {
+	p := config.Default()
+	buf := persist.NewBuffer(p.StoreThreshold)
+	buf.Claim(1)
+	var data [mem.LineSize]byte
+	for i := 0; i < p.StoreThreshold; i++ {
+		buf.Append(int64(i)*mem.LineSize, &data)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Oldest entry: worst case for the replaced linear scan.
+		if e, depth := buf.FindDepth(0); e == nil || depth != buf.Len() {
+			b.Fatal("bad search result")
+		}
+	}
+}
+
+// BenchmarkBufferSearchMiss: a full-depth search that finds nothing.
+func BenchmarkBufferSearchMiss(b *testing.B) {
+	p := config.Default()
+	buf := persist.NewBuffer(p.StoreThreshold)
+	buf.Claim(1)
+	var data [mem.LineSize]byte
+	for i := 0; i < p.StoreThreshold; i++ {
+		buf.Append(int64(i)*mem.LineSize, &data)
+	}
+	miss := int64(p.StoreThreshold+1) * mem.LineSize
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if e, _ := buf.FindDepth(miss); e != nil {
+			b.Fatal("phantom hit")
+		}
+	}
+}

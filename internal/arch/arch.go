@@ -141,9 +141,9 @@ func (b *base) Finalize()                  {}
 // flushDirty writes every dirty line of c to NVM uncounted; the shared
 // Finalize implementation for write-back schemes.
 func flushDirty(c *cache.Cache, b *base) {
-	for _, ln := range c.DirtyLines(nil) {
-		b.nvm.PokeLine(ln.Tag, &ln.Data)
-		ln.Dirty = false
+	for _, slot := range c.DirtySlots(nil) {
+		b.nvm.PokeLine(c.Tag(slot), c.Data(slot))
+		c.ClearDirty(slot)
 	}
 }
 

@@ -3,6 +3,7 @@ package arch
 import (
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/cpu"
 	"repro/internal/ir"
@@ -124,7 +125,7 @@ func TestNVSRAMRestoresDirtyLines(t *testing.T) {
 	var regs cpu.Regs
 	s.Backup(100, &regs, 0)
 	s.PowerFail(200)
-	if s.Cache().Probe(4096) != nil {
+	if s.Cache().Probe(4096) != cache.NoSlot {
 		t.Fatal("cache survived power failure")
 	}
 	s.Restore(300, &regs)
@@ -173,9 +174,9 @@ func TestNvMRRollbackDiscardsSpeculation(t *testing.T) {
 	// Speculative: overwrite and force a renamed writeback via eviction
 	// pressure (directly exercise the writeback path).
 	s.Store(20, 4096, 2, false)
-	ln := s.c.Probe(4096)
-	s.writeback(ln)
-	ln.Dirty = false
+	slot := s.c.Probe(4096)
+	s.writeback(slot)
+	s.c.ClearDirty(slot)
 	if s.NVM().PeekWord(4096) == 2 {
 		t.Fatal("renamed write hit the home location")
 	}

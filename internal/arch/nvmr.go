@@ -24,6 +24,9 @@ type nvmr struct {
 	snapRegs cpu.Regs
 	snapPC   int64
 	needBk   bool
+
+	// dirtyScratch is reused by Backup's dirty-line enumeration.
+	dirtyScratch []int
 }
 
 func newNvMR(p config.Params) *nvmr {
@@ -44,11 +47,11 @@ func (s *nvmr) Cache() *cache.Cache        { return s.c }
 // required before more speculative writebacks can rename.
 func (s *nvmr) NeedsBackup() bool { return s.needBk }
 
-func (s *nvmr) writeback(v *cache.Line) {
+func (s *nvmr) writeback(v int) {
 	// Renamed write: the data lands in NVM at an alternate location, so
 	// the pre-backup value of the home location survives a rollback.
-	cp := v.Data
-	s.overlay[v.Tag] = &cp
+	cp := *s.c.Data(v)
+	s.overlay[s.c.Tag(v)] = &cp
 	s.nvm.LineWrites++
 	s.led.NVM += s.p.ENVMLineWrite
 	if len(s.overlay) >= s.p.NvMRRenameCap {
@@ -56,47 +59,47 @@ func (s *nvmr) writeback(v *cache.Line) {
 	}
 }
 
-func (s *nvmr) access(now int64, addr int64) (*cache.Line, cpu.Cost) {
+func (s *nvmr) access(now int64, addr int64) (int, cpu.Cost) {
 	s.led.Compute += s.p.ESRAMAccess
-	if ln := s.c.Touch(addr); ln != nil {
-		return ln, cpu.Cost{}
+	if slot := s.c.Touch(addr); slot != cache.NoSlot {
+		return slot, cpu.Cost{}
 	}
 	var cost cpu.Cost
 	v := s.c.Victim(addr)
-	if v.Valid && v.Dirty {
+	if s.c.Valid(v) && s.c.Dirty(v) {
 		s.writeback(v)
 		cost.Ns += s.p.NVMLineWriteNs
-		s.tr.Emit(telemetry.EvDirtyEvict, now, v.Tag, 0, 0, 0)
-		v.Dirty = false
+		s.tr.Emit(telemetry.EvDirtyEvict, now, s.c.Tag(v), 0, 0, 0)
+		s.c.ClearDirty(v)
 		s.c.DirtyEvictions++
 	}
-	var data [mem.LineSize]byte
+	slot := s.c.FillUninit(addr)
 	if ov := s.overlay[mem.LineAddr(addr)]; ov != nil {
-		data = *ov
+		*s.c.Data(slot) = *ov
 	} else {
-		s.nvm.ReadLine(mem.LineAddr(addr), &data)
+		s.nvm.ReadLine(mem.LineAddr(addr), s.c.Data(slot))
 	}
 	s.led.NVM += s.p.ENVMLineRead
 	cost.Ns += s.p.NVMLineReadNs
-	return s.c.Fill(addr, &data), cost
+	return slot, cost
 }
 
 func (s *nvmr) Load(now int64, addr int64, byteWide bool) (int64, cpu.Cost) {
-	ln, cost := s.access(now, addr)
+	slot, cost := s.access(now, addr)
 	if byteWide {
-		return int64(ln.ByteAt(addr)), cost
+		return int64(s.c.ByteAt(slot, addr)), cost
 	}
-	return ln.ReadWord(addr), cost
+	return s.c.ReadWord(slot, addr), cost
 }
 
 func (s *nvmr) Store(now int64, addr int64, val int64, byteWide bool) cpu.Cost {
-	ln, cost := s.access(now, addr)
+	slot, cost := s.access(now, addr)
 	if byteWide {
-		ln.SetByte(addr, byte(val))
+		s.c.SetByte(slot, addr, byte(val))
 	} else {
-		ln.WriteWord(addr, val)
+		s.c.WriteWord(slot, addr, val)
 	}
-	ln.Dirty = true
+	s.c.MarkDirty(slot)
 	return cost
 }
 
@@ -108,12 +111,12 @@ func (s *nvmr) Backup(now int64, regs *cpu.Regs, pc int64) cpu.Cost {
 		s.nvm.PokeLine(addr, data) // mapping switch, not a data write
 		delete(s.overlay, addr)
 	}
-	dirty := s.c.DirtyLines(nil)
-	for _, ln := range dirty {
-		s.nvm.WriteLine(ln.Tag, &ln.Data)
-		ln.Dirty = false
+	s.dirtyScratch = s.c.DirtySlots(s.dirtyScratch[:0])
+	for _, slot := range s.dirtyScratch {
+		s.nvm.WriteLine(s.c.Tag(slot), s.c.Data(slot))
+		s.c.ClearDirty(slot)
 	}
-	n := int64(len(dirty))
+	n := int64(len(s.dirtyScratch))
 	s.snapRegs = *regs
 	s.snapPC = pc
 	s.needBk = false

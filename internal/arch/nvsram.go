@@ -20,6 +20,9 @@ type nvsram struct {
 	snapRegs  cpu.Regs
 	snapPC    int64
 	snapLines []savedLine
+
+	// slotScratch is reused by Backup's line enumeration.
+	slotScratch []int
 }
 
 type savedLine struct {
@@ -50,44 +53,44 @@ func (s *nvsram) JIT() bool           { return true }
 func (s *nvsram) Cache() *cache.Cache { return s.c }
 
 // access is the shared write-back, write-allocate path.
-func (s *nvsram) access(now int64, addr int64) (*cache.Line, cpu.Cost) {
+func (s *nvsram) access(now int64, addr int64) (int, cpu.Cost) {
 	s.led.Compute += s.p.ESRAMAccess
-	if ln := s.c.Touch(addr); ln != nil {
-		return ln, cpu.Cost{}
+	if slot := s.c.Touch(addr); slot != cache.NoSlot {
+		return slot, cpu.Cost{}
 	}
 	var cost cpu.Cost
 	v := s.c.Victim(addr)
-	if v.Valid && v.Dirty {
-		s.nvm.WriteLine(v.Tag, &v.Data)
+	if s.c.Valid(v) && s.c.Dirty(v) {
+		s.nvm.WriteLine(s.c.Tag(v), s.c.Data(v))
 		s.led.NVM += s.p.ENVMLineWrite
 		cost.Ns += s.p.NVMLineWriteNs
-		s.tr.Emit(telemetry.EvDirtyEvict, now, v.Tag, 0, 0, 0)
-		v.Dirty = false
+		s.tr.Emit(telemetry.EvDirtyEvict, now, s.c.Tag(v), 0, 0, 0)
+		s.c.ClearDirty(v)
 		s.c.DirtyEvictions++
 	}
-	var data [mem.LineSize]byte
-	s.nvm.ReadLine(mem.LineAddr(addr), &data)
+	slot := s.c.FillUninit(addr)
+	s.nvm.ReadLine(mem.LineAddr(addr), s.c.Data(slot))
 	s.led.NVM += s.p.ENVMLineRead
 	cost.Ns += s.p.NVMLineReadNs
-	return s.c.Fill(addr, &data), cost
+	return slot, cost
 }
 
 func (s *nvsram) Load(now int64, addr int64, byteWide bool) (int64, cpu.Cost) {
-	ln, cost := s.access(now, addr)
+	slot, cost := s.access(now, addr)
 	if byteWide {
-		return int64(ln.ByteAt(addr)), cost
+		return int64(s.c.ByteAt(slot, addr)), cost
 	}
-	return ln.ReadWord(addr), cost
+	return s.c.ReadWord(slot, addr), cost
 }
 
 func (s *nvsram) Store(now int64, addr int64, val int64, byteWide bool) cpu.Cost {
-	ln, cost := s.access(now, addr)
+	slot, cost := s.access(now, addr)
 	if byteWide {
-		ln.SetByte(addr, byte(val))
+		s.c.SetByte(slot, addr, byte(val))
 	} else {
-		ln.WriteWord(addr, val)
+		s.c.WriteWord(slot, addr, val)
 	}
-	ln.Dirty = true
+	s.c.MarkDirty(slot)
 	return cost
 }
 
@@ -95,16 +98,17 @@ func (s *nvsram) Backup(now int64, regs *cpu.Regs, pc int64) cpu.Cost {
 	s.snapRegs = *regs
 	s.snapPC = pc
 	s.snapLines = s.snapLines[:0]
-	var lines []*cache.Line
 	if s.entire {
-		lines = s.c.ValidLines(nil)
+		s.slotScratch = s.c.ValidSlots(s.slotScratch[:0])
 	} else {
-		lines = s.c.DirtyLines(nil)
+		s.slotScratch = s.c.DirtySlots(s.slotScratch[:0])
 	}
-	for _, ln := range lines {
-		s.snapLines = append(s.snapLines, savedLine{addr: ln.Tag, dirty: ln.Dirty, data: ln.Data})
+	for _, slot := range s.slotScratch {
+		s.snapLines = append(s.snapLines, savedLine{
+			addr: s.c.Tag(slot), dirty: s.c.Dirty(slot), data: *s.c.Data(slot),
+		})
 	}
-	n := int64(len(lines))
+	n := int64(len(s.slotScratch))
 	s.led.Backup += s.p.EBackupFixed + float64(n)*s.p.EBackupPerLine
 	s.st.BackupEvents++
 	s.st.LinesBackedUp += uint64(n)
@@ -117,8 +121,10 @@ func (s *nvsram) Restore(now int64, regs *cpu.Regs) (int64, cpu.Cost) {
 	*regs = s.snapRegs
 	for i := range s.snapLines {
 		sl := &s.snapLines[i]
-		ln := s.c.Fill(sl.addr, &sl.data)
-		ln.Dirty = sl.dirty
+		slot := s.c.Fill(sl.addr, &sl.data)
+		if sl.dirty {
+			s.c.MarkDirty(slot)
+		}
 	}
 	n := int64(len(s.snapLines))
 	s.led.Restore += s.p.ERestoreFixed + float64(n)*s.p.ERestorePerLine

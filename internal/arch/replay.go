@@ -26,6 +26,9 @@ type replay struct {
 	snapRegs   cpu.Regs
 	snapPC     int64
 	snapReplay []clwbEntry
+
+	// dirtyScratch is reused by Backup's dirty-line enumeration.
+	dirtyScratch []int
 }
 
 type clwbEntry struct {
@@ -66,49 +69,49 @@ func (s *replay) findPending(addr int64) *clwbEntry {
 	return nil
 }
 
-func (s *replay) access(now int64, addr int64) (*cache.Line, cpu.Cost) {
+func (s *replay) access(now int64, addr int64) (int, cpu.Cost) {
 	s.Sync(now)
 	s.led.Compute += s.p.ESRAMAccess
-	if ln := s.c.Touch(addr); ln != nil {
-		return ln, cpu.Cost{}
+	if slot := s.c.Touch(addr); slot != cache.NoSlot {
+		return slot, cpu.Cost{}
 	}
 	var cost cpu.Cost
 	v := s.c.Victim(addr)
-	if v.Valid && v.Dirty {
-		s.nvm.WriteLine(v.Tag, &v.Data)
+	if s.c.Valid(v) && s.c.Dirty(v) {
+		s.nvm.WriteLine(s.c.Tag(v), s.c.Data(v))
 		s.led.NVM += s.p.ENVMLineWrite
 		cost.Ns += s.p.NVMLineWriteNs
-		s.tr.Emit(telemetry.EvDirtyEvict, now, v.Tag, 0, 0, 0)
-		v.Dirty = false
+		s.tr.Emit(telemetry.EvDirtyEvict, now, s.c.Tag(v), 0, 0, 0)
+		s.c.ClearDirty(v)
 		s.c.DirtyEvictions++
 	}
-	var data [mem.LineSize]byte
+	slot := s.c.FillUninit(addr)
 	if pe := s.findPending(addr); pe != nil {
-		data = pe.data
+		*s.c.Data(slot) = pe.data
 	} else {
-		s.nvm.ReadLine(mem.LineAddr(addr), &data)
+		s.nvm.ReadLine(mem.LineAddr(addr), s.c.Data(slot))
 	}
 	s.led.NVM += s.p.ENVMLineRead
 	cost.Ns += s.p.NVMLineReadNs
-	return s.c.Fill(addr, &data), cost
+	return slot, cost
 }
 
 func (s *replay) Load(now int64, addr int64, byteWide bool) (int64, cpu.Cost) {
-	ln, cost := s.access(now, addr)
+	slot, cost := s.access(now, addr)
 	if byteWide {
-		return int64(ln.ByteAt(addr)), cost
+		return int64(s.c.ByteAt(slot, addr)), cost
 	}
-	return ln.ReadWord(addr), cost
+	return s.c.ReadWord(slot, addr), cost
 }
 
 func (s *replay) Store(now int64, addr int64, val int64, byteWide bool) cpu.Cost {
-	ln, cost := s.access(now, addr)
+	slot, cost := s.access(now, addr)
 	if byteWide {
-		ln.SetByte(addr, byte(val))
+		s.c.SetByte(slot, addr, byte(val))
 	} else {
-		ln.WriteWord(addr, val)
+		s.c.WriteWord(slot, addr, val)
 	}
-	ln.Dirty = true
+	s.c.MarkDirty(slot)
 	return cost
 }
 
@@ -124,8 +127,8 @@ func (s *replay) Clwb(now int64, addr int64) cpu.Cost {
 		}
 		s.Sync(now + cost.Ns)
 	}
-	ln := s.c.Probe(addr)
-	if ln == nil {
+	slot := s.c.Probe(addr)
+	if slot == cache.NoSlot {
 		// The line was evicted between store and clwb (possible only
 		// across a boundary oddity); the eviction already wrote NVM.
 		return cost
@@ -135,10 +138,10 @@ func (s *replay) Clwb(now int64, addr int64) cpu.Cost {
 		start = s.lastDrainDone
 	}
 	done := start + s.p.NVMLineWriteNs
-	s.pending = append(s.pending, clwbEntry{addr: ln.Tag, doneAt: done, data: ln.Data})
+	s.pending = append(s.pending, clwbEntry{addr: s.c.Tag(slot), doneAt: done, data: *s.c.Data(slot)})
 	s.lastDrainDone = done
 	s.led.Persist += s.p.ENVMLineWrite
-	ln.Dirty = false
+	s.c.ClearDirty(slot)
 	return cost
 }
 
@@ -162,8 +165,9 @@ func (s *replay) Backup(now int64, regs *cpu.Regs, pc int64) cpu.Cost {
 	// Unpersisted stores = queued writebacks not yet drained, plus dirty
 	// lines whose clwb had not issued yet.
 	s.snapReplay = append(s.snapReplay[:0], s.pending...)
-	for _, ln := range s.c.DirtyLines(nil) {
-		s.snapReplay = append(s.snapReplay, clwbEntry{addr: ln.Tag, data: ln.Data})
+	s.dirtyScratch = s.c.DirtySlots(s.dirtyScratch[:0])
+	for _, slot := range s.dirtyScratch {
+		s.snapReplay = append(s.snapReplay, clwbEntry{addr: s.c.Tag(slot), data: *s.c.Data(slot)})
 	}
 	s.led.Backup += s.p.EBackupFixed
 	s.st.BackupEvents++

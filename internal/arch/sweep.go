@@ -23,6 +23,14 @@ import (
 // power failure destroys the cache and registers, and recovery follows the
 // (phase1Complete, phase2Complete) protocol of Section 4.2 using the
 // register-checkpoint array and recovery-PC slot in NVM.
+//
+// The simulator mirrors the paper's fast-path hardware: the region-end
+// flush set comes from the cache's incremental dirty list (in lockstep
+// with the WBI table — the table exists precisely so hardware need not
+// scan the cache, Section 4.6), and buffer searches resolve through the
+// youngest-entry index while charging the sequential NVM-search cost the
+// modelled hardware pays. Build with -tags debugcheck to re-enable the
+// full-scan agreement assertions.
 type sweep struct {
 	base
 	c        *cache.Cache
@@ -40,6 +48,17 @@ type sweep struct {
 
 	storesThisRegion int
 	pendingRedo      []*persist.Buffer
+
+	// nextDrainAt caches the earliest Phase2End among sealed, unretired
+	// buffers (or noDrainPending), so the per-access Sync is one compare
+	// instead of a two-buffer scan. Pure bookkeeping: drains still apply
+	// at exactly the same simulated instants.
+	nextDrainAt int64
+
+	// Region-end scratch, reused across regions to keep the hot path
+	// allocation-free.
+	dirtyScratch []int
+	flushScratch []persist.Entry
 }
 
 func newSweep(p config.Params, emptyBit bool) *sweep {
@@ -55,8 +74,13 @@ func newSweep(p config.Params, emptyBit bool) *sweep {
 	s.flushDoneAt = make([]int64, s.c.NumLines())
 	s.seq = 1
 	s.bufs[0].Claim(s.seq)
+	s.nextDrainAt = noDrainPending
 	return s
 }
+
+// noDrainPending marks nextDrainAt when no sealed buffer awaits its
+// s-phase2 completion.
+const noDrainPending = int64(^uint64(0) >> 1)
 
 func (s *sweep) Name() string {
 	if s.emptyBit {
@@ -82,8 +106,13 @@ func (s *sweep) Boot(entryPC int64) {
 }
 
 // Sync drains buffers whose s-phase2 completed by now, in region order so
-// a younger duplicate line lands after an older one.
+// a younger duplicate line lands after an older one. The fast path — no
+// sealed buffer due yet — is a single compare against the cached earliest
+// completion time.
 func (s *sweep) Sync(now int64) {
+	if now < s.nextDrainAt {
+		return
+	}
 	for {
 		var due *persist.Buffer
 		for _, b := range s.bufs {
@@ -94,6 +123,7 @@ func (s *sweep) Sync(now int64) {
 			}
 		}
 		if due == nil {
+			s.recomputeNextDrain()
 			return
 		}
 		// The span's end time is the logical s-phase2 completion, not the
@@ -103,17 +133,28 @@ func (s *sweep) Sync(now int64) {
 	}
 }
 
+// recomputeNextDrain re-derives the cached earliest pending s-phase2
+// completion from the buffers' actual state.
+func (s *sweep) recomputeNextDrain() {
+	s.nextDrainAt = noDrainPending
+	for _, b := range s.bufs {
+		if b.Sealed && !b.Retired && b.Phase2End < s.nextDrainAt {
+			s.nextDrainAt = b.Phase2End
+		}
+	}
+}
+
 // searchBuffers looks for addr in the persist buffers on a load miss,
 // youngest region first (the active buffer holds the current region's
-// evictions). It returns the found data (or nil) and the sequential-search
-// latency — each probed entry is an NVM read — and updates the search
-// statistics. With the empty-bit variant an empty buffer is skipped
-// outright; the NVM Search variant always pays at least the FIFO metadata
-// read (Section 4.4).
+// evictions). The hit position comes from the buffer's youngest-entry
+// index, but the charged latency and energy are the modelled hardware's
+// sequential scan — each conceptually probed entry is an NVM read — so the
+// cost is identical to walking the FIFO. With the empty-bit variant an
+// empty buffer is skipped outright; the NVM Search variant always pays at
+// least the FIFO metadata read (Section 4.4).
 func (s *sweep) searchBuffers(now int64, addr int64) (*[mem.LineSize]byte, cpu.Cost) {
 	var cost cpu.Cost
 	searched := false
-	la := mem.LineAddr(addr)
 	var found *[mem.LineSize]byte
 	order := [2]*persist.Buffer{s.bufs[s.active], s.bufs[1-s.active]}
 	for _, b := range order {
@@ -122,16 +163,15 @@ func (s *sweep) searchBuffers(now int64, addr int64) (*[mem.LineSize]byte, cpu.C
 		}
 		searched = true
 		cost.Ns += s.p.SearchBaseNs
-		for i := b.Len() - 1; i >= 0; i-- {
-			cost.Ns += s.p.SearchPerEntryNs
+		e, depth := b.FindDepth(addr)
+		cost.Ns += int64(depth) * s.p.SearchPerEntryNs
+		// One ledger add per probed entry, exactly as the sequential scan
+		// charged it, so energy totals stay bit-identical.
+		for i := 0; i < depth; i++ {
 			s.led.NVM += s.p.ENVMRead
-			if e := b.EntryAt(i); e.Addr == la {
-				data := e.Data
-				found = &data
-				break
-			}
 		}
-		if found != nil {
+		if e != nil {
+			found = &e.Data
 			break
 		}
 	}
@@ -148,54 +188,55 @@ func (s *sweep) searchBuffers(now int64, addr int64) (*[mem.LineSize]byte, cpu.C
 
 // missFill handles a load/store miss: evict the victim into the active
 // buffer if dirty, then fill from the buffers or NVM.
-func (s *sweep) missFill(now int64, addr int64) (*cache.Line, cpu.Cost) {
+func (s *sweep) missFill(now int64, addr int64) (int, cpu.Cost) {
 	var cost cpu.Cost
 	v := s.c.Victim(addr)
-	if v.Valid && v.Dirty {
+	if s.c.Valid(v) && s.c.Dirty(v) {
 		// t-phase1: quarantine the writeback in the active buffer
 		// (an NVM-resident write).
-		s.bufs[s.active].Append(v.Tag, &v.Data)
+		s.bufs[s.active].Append(s.c.Tag(v), s.c.Data(v))
 		s.nvm.LineWrites++
 		s.led.Persist += s.p.ENVMLineWrite
 		cost.Ns += s.p.NVMLineWriteNs
-		s.wbi[s.active].ClearBit(v.Slot)
-		s.tr.Emit(telemetry.EvDirtyEvict, now, v.Tag, int64(v.DirtyRegion), 0, 0)
-		v.Dirty = false
+		s.wbi[s.active].ClearBit(v)
+		s.tr.Emit(telemetry.EvDirtyEvict, now, s.c.Tag(v), int64(s.c.DirtyRegion(v)), 0, 0)
+		s.c.ClearDirty(v)
 		s.c.DirtyEvictions++
 	}
 	data, scost := s.searchBuffers(now, addr)
 	cost.Add(scost)
-	if data == nil {
-		var buf [mem.LineSize]byte
-		s.nvm.ReadLine(mem.LineAddr(addr), &buf)
+	slot := s.c.FillUninit(addr)
+	if data != nil {
+		*s.c.Data(slot) = *data
+	} else {
+		s.nvm.ReadLine(mem.LineAddr(addr), s.c.Data(slot))
 		s.led.NVM += s.p.ENVMLineRead
 		cost.Ns += s.p.NVMLineReadNs
-		data = &buf
 	}
-	return s.c.Fill(addr, data), cost
+	return slot, cost
 }
 
 func (s *sweep) Load(now int64, addr int64, byteWide bool) (int64, cpu.Cost) {
 	s.Sync(now)
 	s.led.Compute += s.p.ESRAMAccess
-	ln := s.c.Touch(addr)
+	slot := s.c.Touch(addr)
 	var cost cpu.Cost
-	if ln == nil {
-		ln, cost = s.missFill(now, addr)
+	if slot == cache.NoSlot {
+		slot, cost = s.missFill(now, addr)
 	}
 	if byteWide {
-		return int64(ln.ByteAt(addr)), cost
+		return int64(s.c.ByteAt(slot, addr)), cost
 	}
-	return ln.ReadWord(addr), cost
+	return s.c.ReadWord(slot, addr), cost
 }
 
 func (s *sweep) Store(now int64, addr int64, val int64, byteWide bool) cpu.Cost {
 	s.Sync(now)
 	s.led.Compute += s.p.ESRAMAccess
-	ln := s.c.Touch(addr)
+	slot := s.c.Touch(addr)
 	var cost cpu.Cost
-	if ln == nil {
-		ln, cost = s.missFill(now, addr)
+	if slot == cache.NoSlot {
+		slot, cost = s.missFill(now, addr)
 	}
 	// Write-after-write rule (Section 4.3). The s-phase1 hardware walks
 	// the previous region's WBI table line by line, clearing dirty bits
@@ -205,12 +246,12 @@ func (s *sweep) Store(now int64, addr int64, val int64, byteWide bool) cpu.Cost 
 	// coarse (dirty, WBI-prev, phase1Complete) check stalls spuriously:
 	// the paper's rare false positive.
 	prev := s.bufs[1-s.active]
-	if s.wbi[1-s.active].Get(ln.Slot) && prev.Sealed && !prev.Phase1CompleteAt(now+cost.Ns) {
+	if s.wbi[1-s.active].Get(slot) && prev.Sealed && !prev.Phase1CompleteAt(now+cost.Ns) {
 		t := now + cost.Ns
 		var until int64
-		if done := s.flushDoneAt[ln.Slot]; done > t {
+		if done := s.flushDoneAt[slot]; done > t {
 			until = done // true hazard: this line's flush is in flight
-		} else if ln.Dirty {
+		} else if s.c.Dirty(slot) {
 			until = prev.Phase1End // false positive: re-dirtied line
 		}
 		if until > t {
@@ -220,17 +261,37 @@ func (s *sweep) Store(now int64, addr int64, val int64, byteWide bool) cpu.Cost 
 		}
 	}
 	if byteWide {
-		ln.SetByte(addr, byte(val))
+		s.c.SetByte(slot, addr, byte(val))
 	} else {
-		ln.WriteWord(addr, val)
+		s.c.WriteWord(slot, addr, val)
 	}
-	if !ln.Dirty {
-		ln.Dirty = true
-		ln.DirtyRegion = s.seq
-		s.wbi[s.active].Set(ln.Slot)
+	if !s.c.Dirty(slot) {
+		s.c.MarkDirtyRegion(slot, s.seq)
+		s.wbi[s.active].Set(slot)
 	}
 	s.storesThisRegion++
 	return cost
+}
+
+// assertWBIAgreement is the paper's Section 4.6 invariant, checked the
+// expensive way: the WBI table, the cache's incremental dirty list, and a
+// full per-slot cache scan must all name exactly the same lines. The fast
+// paths keep these in lockstep by construction; the scan survives behind
+// the debugcheck build tag.
+func (s *sweep) assertWBIAgreement(dirty []int) {
+	if got, want := s.wbi[s.active].Count(), len(dirty); got != want {
+		panic(fmt.Sprintf("sweep: WBI table (%d) disagrees with dirty list (%d)", got, want))
+	}
+	for _, slot := range dirty {
+		if !s.wbi[s.active].Get(slot) {
+			panic("sweep: dirty line missing from WBI table")
+		}
+	}
+	for slot := 0; slot < s.c.NumLines(); slot++ {
+		if s.wbi[s.active].Get(slot) != (s.c.Valid(slot) && s.c.Dirty(slot)) {
+			panic(fmt.Sprintf("sweep: WBI/dirty-scan disagreement at slot %d", slot))
+		}
+	}
 }
 
 func (s *sweep) RegionEnd(now int64) cpu.Cost {
@@ -249,26 +310,27 @@ func (s *sweep) RegionEnd(now int64) cpu.Cost {
 		}
 	}
 
-	// s-phase1 flush set: all dirty lines, which must match the WBI
-	// table exactly (Section 4.6) — the table exists so hardware need
-	// not scan the cache; the simulator scans and asserts agreement.
-	dirty := s.c.DirtyLines(nil)
-	if got, want := s.wbi[s.active].Count(), len(dirty); got != want {
-		panic(fmt.Sprintf("sweep: WBI table (%d) disagrees with dirty scan (%d)", got, want))
+	// s-phase1 flush set: the WBI-driven dirty list (Section 4.6), in the
+	// same ascending slot order the full-cache scan produced.
+	s.dirtyScratch = s.c.DirtySlots(s.dirtyScratch[:0])
+	dirty := s.dirtyScratch
+	if cache.DebugChecks {
+		s.assertWBIAgreement(dirty)
 	}
-	flush := make([]persist.Entry, len(dirty))
+	flush := s.flushScratch[:0]
 	start := now + cost.Ns
-	for i, ln := range dirty {
-		if !s.wbi[s.active].Get(ln.Slot) {
-			panic("sweep: dirty line missing from WBI table")
-		}
-		flush[i] = persist.Entry{Addr: ln.Tag, Data: ln.Data}
-		ln.Dirty = false // flushed lines remain resident and clean
-		s.flushDoneAt[ln.Slot] = start + int64(i+1)*s.p.FlushPerLineNs
+	for i, slot := range dirty {
+		flush = append(flush, persist.Entry{Addr: s.c.Tag(slot), Data: *s.c.Data(slot)})
+		s.c.ClearDirty(slot) // flushed lines remain resident and clean
+		s.flushDoneAt[slot] = start + int64(i+1)*s.p.FlushPerLineNs
 	}
+	s.flushScratch = flush
 
 	cur := s.bufs[s.active]
 	cur.Seal(start, flush, s.p.FlushPerLineNs, s.p.DrainPerLineNs, other.Phase2End)
+	if cur.Phase2End < s.nextDrainAt {
+		s.nextDrainAt = cur.Phase2End
+	}
 	s.tr.Emit(telemetry.EvRegionCommit, start, int64(s.seq), int64(s.storesThisRegion), int64(len(dirty)), 0)
 	s.tr.Emit(telemetry.EvSweepBegin, start, int64(cur.Region), int64(cur.Len()), 0, 0)
 
@@ -332,6 +394,7 @@ func (s *sweep) PowerFail(now int64) {
 	s.wbi[0].Clear()
 	s.wbi[1].Clear()
 	s.storesThisRegion = 0
+	s.recomputeNextDrain()
 }
 
 func (s *sweep) Restore(now int64, regs *cpu.Regs) (int64, cpu.Cost) {
@@ -347,6 +410,15 @@ func (s *sweep) Restore(now int64, regs *cpu.Regs) (int64, cpu.Cost) {
 		s.st.RedoneDrains++
 	}
 	s.pendingRedo = s.pendingRedo[:0]
+
+	// A fresh power-on has no s-phase1 in flight: drop every pre-outage
+	// flush deadline so a post-reboot store can never observe a stale
+	// s-phase1 window. (Stale deadlines were only reachable through WBI
+	// bits, which PowerFail cleared, but the invariant is kept structural
+	// rather than incidental.)
+	for i := range s.flushDoneAt {
+		s.flushDoneAt[i] = 0
+	}
 
 	// Reload the register file from the checkpoint array and the resume
 	// PC from the recovery slot (two checkpoint lines plus the PC line).
@@ -364,6 +436,7 @@ func (s *sweep) Restore(now int64, regs *cpu.Regs) (int64, cpu.Cost) {
 	s.seq++
 	s.active = 0
 	s.bufs[0].Claim(s.seq)
+	s.recomputeNextDrain()
 	s.tr.Emit(telemetry.EvRegionStart, now, int64(s.seq), 0, 0, 0)
 	return pc, cost
 }
@@ -381,5 +454,6 @@ func (s *sweep) Finalize() {
 		}
 		b.Discard()
 	}
+	s.recomputeNextDrain()
 	flushDirty(s.c, &s.base)
 }

@@ -1,0 +1,60 @@
+package arch
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/ir"
+)
+
+// TestSweepRestoreResetsFlushDeadlines: an outage that strikes while the
+// previous region's s-phase1 flush is in flight must not leave stale
+// per-slot flush deadlines behind. A post-reboot store to the same
+// cacheline slot would otherwise compare against a deadline from before
+// the outage — a flush that no longer exists — and stall spuriously.
+func TestSweepRestoreResetsFlushDeadlines(t *testing.T) {
+	p := params()
+	s := New(SweepEmptyBit, p).(*sweep)
+	s.NVM().PokeWord(ir.PCSlotAddr, 100)
+	s.Boot(0)
+
+	// Dirty one line and end the region: the line enters the s-phase1
+	// flush set and gets a per-slot flush deadline in the future.
+	s.Store(0, 4096, 11, false)
+	slot := s.c.Probe(4096)
+	s.RegionEnd(10)
+	sealed := s.bufs[0]
+	if !sealed.Sealed {
+		t.Fatal("region end did not seal the buffer")
+	}
+	if s.flushDoneAt[slot] == 0 {
+		t.Fatal("flush deadline not recorded at region end")
+	}
+
+	// Fail mid-flush: after the seal but before s-phase1 completes.
+	failAt := sealed.Phase1End - 1
+	if failAt < 10 {
+		t.Skip("phase1 too fast to interrupt at this config")
+	}
+	s.PowerFail(failAt)
+	var regs cpu.Regs
+	pc, _ := s.Restore(failAt+100, &regs)
+	if pc != 100 {
+		t.Fatalf("resume pc = %d", pc)
+	}
+
+	// The structural invariant: no pre-outage flush deadline survives.
+	for i, done := range s.flushDoneAt {
+		if done != 0 {
+			t.Fatalf("flushDoneAt[%d] = %d survived the outage", i, done)
+		}
+	}
+
+	// End to end: re-dirtying the same slot right after reboot must not
+	// stall on the phantom flush.
+	before := s.Stats().WAWStallNs
+	s.Store(failAt+200, 4096, 22, false)
+	if got := s.Stats().WAWStallNs - before; got != 0 {
+		t.Errorf("post-reboot store stalled %d ns on a pre-outage flush", got)
+	}
+}

@@ -29,34 +29,34 @@ func (s *wt) Cache() *cache.Cache { return s.c }
 
 // fill brings addr's line in from NVM; write-through lines are always
 // clean, so the victim needs no draining.
-func (s *wt) fill(addr int64) (*cache.Line, cpu.Cost) {
-	var data [mem.LineSize]byte
-	s.nvm.ReadLine(mem.LineAddr(addr), &data)
+func (s *wt) fill(addr int64) (int, cpu.Cost) {
+	slot := s.c.FillUninit(addr)
+	s.nvm.ReadLine(mem.LineAddr(addr), s.c.Data(slot))
 	s.led.NVM += s.p.ENVMLineRead
-	return s.c.Fill(addr, &data), cpu.Cost{Ns: s.p.NVMLineReadNs}
+	return slot, cpu.Cost{Ns: s.p.NVMLineReadNs}
 }
 
 func (s *wt) Load(now int64, addr int64, byteWide bool) (int64, cpu.Cost) {
 	s.led.Compute += s.p.ESRAMAccess
-	ln := s.c.Touch(addr)
+	slot := s.c.Touch(addr)
 	var cost cpu.Cost
-	if ln == nil {
-		ln, cost = s.fill(addr)
+	if slot == cache.NoSlot {
+		slot, cost = s.fill(addr)
 	}
 	if byteWide {
-		return int64(ln.ByteAt(addr)), cost
+		return int64(s.c.ByteAt(slot, addr)), cost
 	}
-	return ln.ReadWord(addr), cost
+	return s.c.ReadWord(slot, addr), cost
 }
 
 func (s *wt) Store(now int64, addr int64, val int64, byteWide bool) cpu.Cost {
 	s.led.Compute += s.p.ESRAMAccess
 	// Update the cached copy if present (no write-allocate) ...
-	if ln := s.c.Touch(addr); ln != nil {
+	if slot := s.c.Touch(addr); slot != cache.NoSlot {
 		if byteWide {
-			ln.SetByte(addr, byte(val))
+			s.c.SetByte(slot, addr, byte(val))
 		} else {
-			ln.WriteWord(addr, val)
+			s.c.WriteWord(slot, addr, val)
 		}
 	}
 	// ... and always write through to NVM.

@@ -4,39 +4,58 @@
 // backup), and what happens at power failure. The cache stores real line
 // data so the simulation stays functional.
 //
+// Layout is structure-of-arrays, keyed by slot (set*ways + way, the fixed
+// position that also indexes the write-back-instructive tables of
+// Section 4.6): Probe/Touch/Victim walk only the compact tag/generation
+// arrays — never the 64 B data blocks — and a per-set MRU-way hint resolves
+// the common re-reference without scanning at all. Dirtiness lives in a
+// bitmap kept incrementally, so DirtySlots enumerates dirty lines in O(set
+// bits) instead of a full-cache walk, and Invalidate bumps a generation
+// counter instead of zeroing every line (lazy reclamation: a stale line is
+// simply not valid, and the next Fill of its slot overwrites it).
+//
 // Dirty lines carry the region sequence number that dirtied them, which the
 // SweepCache write-after-write rule (Section 4.3) and the write-back-
 // instructive table (Section 4.6) consume.
 package cache
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/mem"
 )
 
-// Line is one cache line.
-type Line struct {
-	Tag   int64 // line-aligned address
-	Valid bool
-	Dirty bool
-	// DirtyRegion is the region sequence number of the store that made
-	// the line dirty (meaningful while Dirty).
-	DirtyRegion uint64
-	// Slot is the line's fixed position in the cache (set*ways + way),
-	// which indexes the write-back-instructive tables.
-	Slot int
-	Data [mem.LineSize]byte
+// NoSlot is the miss result of Probe and Touch.
+const NoSlot = -1
 
-	lru uint64
-}
+// noTag is the MRU-hint sentinel: line addresses are non-negative multiples
+// of the line size, so -1 never matches a real tag.
+const noTag = int64(-1)
 
 // Cache is a set-associative cache with true-LRU replacement.
 type Cache struct {
-	sets  [][]Line
 	ways  int
 	nsets int
 	tick  uint64
+	// epoch tags the current power-on generation: a slot is valid iff
+	// gen[slot] == epoch, so Invalidate is one increment instead of a
+	// full-array wipe.
+	epoch uint64
+
+	tags        []int64  // line-aligned address per slot
+	gen         []uint64 // power-on generation per slot
+	lru         []uint64 // last-touch tick per slot
+	dirtyRegion []uint64 // region that dirtied the slot (meaningful while dirty)
+	dirtyBits   []uint64 // one bit per slot, kept incrementally
+	data        [][mem.LineSize]byte
+	// Per-set MRU hint, keyed by tag so the common re-reference is a single
+	// compare: mruTag[set] is the line address resident in way mruWay[set]
+	// (or the never-matching sentinel noTag). Invalidate resets the hint
+	// arrays eagerly — they are per-set, not per-slot, so the wipe is tiny.
+	mruWay []int32
+	mruTag []int64
 
 	// Counters.
 	Hits           uint64
@@ -57,14 +76,22 @@ func New(sizeBytes, ways int) *Cache {
 	if nsets&(nsets-1) != 0 {
 		panic(fmt.Sprintf("cache: set count %d not a power of two", nsets))
 	}
-	c := &Cache{ways: ways, nsets: nsets}
-	c.sets = make([][]Line, nsets)
-	backing := make([]Line, nsets*ways)
-	for i := range backing {
-		backing[i].Slot = i
+	n := nsets * ways
+	c := &Cache{
+		ways:        ways,
+		nsets:       nsets,
+		epoch:       1,
+		tags:        make([]int64, n),
+		gen:         make([]uint64, n),
+		lru:         make([]uint64, n),
+		dirtyRegion: make([]uint64, n),
+		dirtyBits:   make([]uint64, (n+63)/64),
+		data:        make([][mem.LineSize]byte, n),
+		mruWay:      make([]int32, nsets),
+		mruTag:      make([]int64, nsets),
 	}
-	for i := range c.sets {
-		c.sets[i] = backing[i*ways : (i+1)*ways : (i+1)*ways]
+	for i := range c.mruTag {
+		c.mruTag[i] = noTag
 	}
 	return c
 }
@@ -73,126 +100,212 @@ func New(sizeBytes, ways int) *Cache {
 // needs one bit per line — Section 4.6).
 func (c *Cache) NumLines() int { return c.nsets * c.ways }
 
-func (c *Cache) set(addr int64) []Line {
-	return c.sets[(addr/mem.LineSize)&int64(c.nsets-1)]
+func (c *Cache) setIndex(addr int64) int {
+	return int((addr / mem.LineSize) & int64(c.nsets-1))
 }
 
-// Probe returns the line holding addr, or nil. It does not update LRU or
-// counters; use Touch for demand accesses.
-func (c *Cache) Probe(addr int64) *Line {
+// Probe returns the slot holding addr, or NoSlot. It does not update LRU
+// or the hit/miss counters; use Touch for demand accesses. The per-set MRU
+// hint short-circuits the way scan on repeated references to one line.
+func (c *Cache) Probe(addr int64) int {
 	tag := mem.LineAddr(addr)
-	set := c.set(addr)
-	for i := range set {
-		if set[i].Valid && set[i].Tag == tag {
-			return &set[i]
+	set := int(uint64(tag) / mem.LineSize & uint64(c.nsets-1))
+	if c.mruTag[set] == tag {
+		return set*c.ways + int(c.mruWay[set])
+	}
+	return c.probeScan(tag, set)
+}
+
+// probeScan is Probe's miss-or-cold-set half: a full way scan that
+// refreshes the MRU hint on hit. Split out so the hint fast path inlines
+// into Probe's callers.
+func (c *Cache) probeScan(tag int64, set int) int {
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		s := base + w
+		if c.gen[s] == c.epoch && c.tags[s] == tag {
+			c.mruWay[set] = int32(w)
+			c.mruTag[set] = tag
+			return s
 		}
 	}
-	return nil
+	return NoSlot
 }
 
-// Touch performs a demand lookup: on hit it updates LRU and the hit
-// counter and returns the line; on miss it counts a miss and returns nil.
-func (c *Cache) Touch(addr int64) *Line {
-	if ln := c.Probe(addr); ln != nil {
+// Touch performs a demand lookup in a single tag scan (shared with Probe):
+// on hit it updates LRU and the hit counter and returns the slot; on miss
+// it counts a miss and returns NoSlot.
+func (c *Cache) Touch(addr int64) int {
+	tag := mem.LineAddr(addr)
+	set := int(uint64(tag) / mem.LineSize & uint64(c.nsets-1))
+	s := NoSlot
+	if c.mruTag[set] == tag {
+		s = set*c.ways + int(c.mruWay[set])
+	} else {
+		s = c.probeScan(tag, set)
+	}
+	if s != NoSlot {
 		c.tick++
-		ln.lru = c.tick
+		c.lru[s] = c.tick
 		c.Hits++
-		return ln
+		return s
 	}
 	c.Misses++
-	return nil
+	return NoSlot
 }
 
-// Victim returns the line that a fill of addr would replace: an invalid
-// way if present, otherwise the LRU way. The caller must handle the
-// victim's dirty data before calling Fill.
-func (c *Cache) Victim(addr int64) *Line {
-	set := c.set(addr)
-	v := &set[0]
-	for i := range set {
-		if !set[i].Valid {
-			return &set[i]
+// Victim returns the slot that a fill of addr would replace: an invalid
+// way if present (lowest way first), otherwise the LRU way. The caller
+// must handle the victim's dirty data before calling Fill.
+func (c *Cache) Victim(addr int64) int {
+	base := c.setIndex(addr) * c.ways
+	v := base
+	for w := 0; w < c.ways; w++ {
+		s := base + w
+		if c.gen[s] != c.epoch {
+			return s
 		}
-		if set[i].lru < v.lru {
-			v = &set[i]
+		if c.lru[s] < c.lru[v] {
+			v = s
 		}
 	}
 	return v
 }
 
-// Fill installs a clean line for addr into the victim way.
-func (c *Cache) Fill(addr int64, data *[mem.LineSize]byte) *Line {
+// Fill installs a clean line for addr into the victim way and returns its
+// slot.
+func (c *Cache) Fill(addr int64, data *[mem.LineSize]byte) int {
+	v := c.FillUninit(addr)
+	c.data[v] = *data
+	return v
+}
+
+// FillUninit allocates addr's line exactly like Fill but leaves the
+// 64-byte payload untouched, so the caller can write it in place (an NVM
+// read or a buffer-entry copy lands directly in the slot, skipping the
+// intermediate stack buffer). The caller must fully overwrite
+// Data(slot) before the line is read.
+func (c *Cache) FillUninit(addr int64) int {
 	v := c.Victim(addr)
-	if v.Valid && v.Dirty {
+	if c.gen[v] == c.epoch && c.dirty(v) {
 		// The caller was required to drain the victim first.
 		panic("cache: Fill over un-drained dirty victim")
 	}
 	c.tick++
-	*v = Line{Tag: mem.LineAddr(addr), Valid: true, Data: *data, lru: c.tick, Slot: v.Slot}
+	c.tags[v] = mem.LineAddr(addr)
+	c.gen[v] = c.epoch
+	c.lru[v] = c.tick
+	c.dirtyRegion[v] = 0
+	set := v / c.ways
+	c.mruWay[set] = int32(v % c.ways)
+	c.mruTag[set] = c.tags[v]
 	return v
 }
 
-// DirtyLines appends pointers to all dirty lines to dst and returns it.
-func (c *Cache) DirtyLines(dst []*Line) []*Line {
-	for si := range c.sets {
-		set := c.sets[si]
-		for i := range set {
-			if set[i].Valid && set[i].Dirty {
-				dst = append(dst, &set[i])
+// Tag returns the line-aligned address resident in slot.
+func (c *Cache) Tag(slot int) int64 { return c.tags[slot] }
+
+// Valid reports whether slot holds a line of the current power-on
+// generation.
+func (c *Cache) Valid(slot int) bool { return c.gen[slot] == c.epoch }
+
+func (c *Cache) dirty(slot int) bool {
+	return c.dirtyBits[slot>>6]&(1<<(uint(slot)&63)) != 0
+}
+
+// Dirty reports whether slot holds unwritten-back data.
+func (c *Cache) Dirty(slot int) bool { return c.dirty(slot) }
+
+// DirtyRegion returns the region sequence number of the store that made
+// slot dirty (meaningful while Dirty).
+func (c *Cache) DirtyRegion(slot int) uint64 { return c.dirtyRegion[slot] }
+
+// MarkDirty sets slot's dirty bit, keeping the incremental dirty bitmap in
+// lockstep with the caller's bookkeeping (e.g. the WBI table).
+func (c *Cache) MarkDirty(slot int) {
+	c.dirtyBits[slot>>6] |= 1 << (uint(slot) & 63)
+}
+
+// MarkDirtyRegion marks slot dirty and records the dirtying region.
+func (c *Cache) MarkDirtyRegion(slot int, region uint64) {
+	c.MarkDirty(slot)
+	c.dirtyRegion[slot] = region
+}
+
+// ClearDirty clears slot's dirty bit (the line was written back or
+// quarantined).
+func (c *Cache) ClearDirty(slot int) {
+	c.dirtyBits[slot>>6] &^= 1 << (uint(slot) & 63)
+}
+
+// Data returns the 64 B block resident in slot.
+func (c *Cache) Data(slot int) *[mem.LineSize]byte { return &c.data[slot] }
+
+// DirtySlots appends all dirty slots to dst in ascending slot order — the
+// same set-major order the old full-cache walk produced — and returns it.
+// It enumerates only the set bits of the dirty bitmap.
+func (c *Cache) DirtySlots(dst []int) []int {
+	for wi, word := range c.dirtyBits {
+		for word != 0 {
+			slot := wi*64 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if DebugChecks && c.gen[slot] != c.epoch {
+				panic(fmt.Sprintf("cache: dirty bit on invalid slot %d", slot))
 			}
+			dst = append(dst, slot)
 		}
 	}
 	return dst
 }
 
-// ValidLines appends pointers to all valid lines to dst and returns it.
-func (c *Cache) ValidLines(dst []*Line) []*Line {
-	for si := range c.sets {
-		set := c.sets[si]
-		for i := range set {
-			if set[i].Valid {
-				dst = append(dst, &set[i])
-			}
+// ValidSlots appends all valid slots to dst in ascending slot order and
+// returns it.
+func (c *Cache) ValidSlots(dst []int) []int {
+	for s := range c.gen {
+		if c.gen[s] == c.epoch {
+			dst = append(dst, s)
 		}
 	}
 	return dst
 }
 
 // Invalidate clears the whole cache, modelling volatile loss at power
-// failure. Counters are preserved.
+// failure: the generation counter advances, orphaning every resident line,
+// and the dirty bitmap is wiped. Counters are preserved. Stale tags, data
+// and LRU stamps are reclaimed lazily by the next Fill of each slot.
 func (c *Cache) Invalidate() {
-	for si := range c.sets {
-		set := c.sets[si]
-		for i := range set {
-			set[i] = Line{Slot: set[i].Slot}
-		}
+	c.epoch++
+	for i := range c.dirtyBits {
+		c.dirtyBits[i] = 0
+	}
+	for i := range c.mruTag {
+		c.mruTag[i] = noTag
 	}
 }
 
-// ReadWord reads a little-endian word from a resident line.
-func (ln *Line) ReadWord(addr int64) int64 {
-	off := addr - ln.Tag
-	var v uint64
-	for i := int64(0); i < 8; i++ {
-		v |= uint64(ln.Data[off+i]) << (8 * i)
-	}
-	return int64(v)
+// ReadWord reads a little-endian word from the line resident in slot.
+func (c *Cache) ReadWord(slot int, addr int64) int64 {
+	off := addr - c.tags[slot]
+	return int64(binary.LittleEndian.Uint64(c.data[slot][off : off+8]))
 }
 
-// WriteWord writes a little-endian word into a resident line; the caller
-// sets Dirty/DirtyRegion per its policy.
-func (ln *Line) WriteWord(addr, val int64) {
-	off := addr - ln.Tag
-	for i := int64(0); i < 8; i++ {
-		ln.Data[off+i] = byte(uint64(val) >> (8 * i))
-	}
+// WriteWord writes a little-endian word into the line resident in slot;
+// the caller marks dirtiness per its policy.
+func (c *Cache) WriteWord(slot int, addr, val int64) {
+	off := addr - c.tags[slot]
+	binary.LittleEndian.PutUint64(c.data[slot][off:off+8], uint64(val))
 }
 
-// ReadByte reads one byte from a resident line.
-func (ln *Line) ByteAt(addr int64) byte { return ln.Data[addr-ln.Tag] }
+// ByteAt reads one byte from the line resident in slot.
+func (c *Cache) ByteAt(slot int, addr int64) byte {
+	return c.data[slot][addr-c.tags[slot]]
+}
 
-// WriteByte writes one byte into a resident line.
-func (ln *Line) SetByte(addr int64, v byte) { ln.Data[addr-ln.Tag] = v }
+// SetByte writes one byte into the line resident in slot; the caller marks
+// dirtiness per its policy.
+func (c *Cache) SetByte(slot int, addr int64, v byte) {
+	c.data[slot][addr-c.tags[slot]] = v
+}
 
 // MissRate returns misses / (hits+misses), or 0 with no accesses.
 func (c *Cache) MissRate() float64 {

@@ -1,0 +1,9 @@
+//go:build !debugcheck
+
+package cache
+
+// DebugChecks gates the O(cache) agreement assertions that the fast paths
+// made redundant in production: dirty-bitmap/validity coherence here, and
+// the Section 4.6 WBI-table-vs-dirty-scan assertion in the SweepCache
+// scheme. Build with -tags debugcheck to execute them.
+const DebugChecks = false

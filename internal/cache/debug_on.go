@@ -1,0 +1,6 @@
+//go:build debugcheck
+
+package cache
+
+// DebugChecks enables the O(cache) agreement assertions (see debug_off.go).
+const DebugChecks = true

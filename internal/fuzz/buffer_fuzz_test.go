@@ -1,0 +1,100 @@
+package fuzz
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/persist"
+)
+
+// refFind is the original linear buffer search: walk the FIFO youngest
+// first, return the youngest entry for addr's line plus the number of
+// entries probed (Len()-i for a hit at position i, Len() for a miss).
+// FindDepth must agree with it exactly — the youngest-entry index is an
+// implementation detail, the modelled probe depth is the contract.
+func refFind(b *persist.Buffer, addr int64) (*persist.Entry, int) {
+	la := mem.LineAddr(addr)
+	for i := b.Len() - 1; i >= 0; i-- {
+		if b.EntryAt(i).Addr == la {
+			return b.EntryAt(i), b.Len() - i
+		}
+	}
+	return nil, b.Len()
+}
+
+// FuzzBufferIndex drives a persist buffer through random append / seal /
+// drain / discard / claim sequences and cross-checks the indexed
+// FindDepth against the reference linear scan after every step.
+func FuzzBufferIndex(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0, 0, 5, 3, 0, 4})
+	f.Add([]byte{0, 0, 0, 0, 1, 1, 1, 1, 2, 3, 4, 5})
+	f.Add([]byte{5, 5, 5, 0, 2, 0, 3, 0, 0, 4, 0, 1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const capacity = 8
+		b := persist.NewBuffer(capacity)
+		b.Claim(1)
+		nvm := mem.New(1 << 16)
+		region := uint64(1)
+		var now int64
+
+		check := func(addr int64) {
+			got, gotDepth := b.FindDepth(addr)
+			want, wantDepth := refFind(b, addr)
+			if gotDepth != wantDepth {
+				t.Fatalf("addr %d: depth %d, linear scan %d", addr, gotDepth, wantDepth)
+			}
+			if (got == nil) != (want == nil) {
+				t.Fatalf("addr %d: hit %v, linear scan %v", addr, got != nil, want != nil)
+			}
+			if got != nil && (got.Addr != want.Addr || got.Data != want.Data) {
+				t.Fatalf("addr %d: entry mismatch", addr)
+			}
+		}
+
+		for i := 0; i < len(ops); i++ {
+			op := ops[i] % 6
+			arg := byte(0)
+			if i+1 < len(ops) {
+				arg = ops[i+1]
+			}
+			switch op {
+			case 0, 1: // append (twice as likely — buffers mostly fill)
+				if b.Sealed || b.Len() >= capacity {
+					continue
+				}
+				addr := int64(arg%16) * mem.LineSize
+				var data [mem.LineSize]byte
+				data[0] = arg
+				b.Append(addr, &data)
+				i++
+			case 2: // seal with a small flush set
+				if b.Sealed {
+					continue
+				}
+				var flush []persist.Entry
+				for j := 0; j < int(arg%3) && b.Len()+j < capacity; j++ {
+					var d [mem.LineSize]byte
+					d[0] = byte(j) + 1
+					flush = append(flush, persist.Entry{Addr: int64(j) * mem.LineSize, Data: d})
+				}
+				now += 100
+				b.Seal(now, flush, 10, 15, 0)
+				i++
+			case 3: // drain
+				b.Drain(nvm)
+			case 4: // discard
+				b.Discard()
+			case 5: // claim a new region
+				if b.Len() > 0 && !b.Retired {
+					continue
+				}
+				region++
+				b.Claim(region)
+			}
+			// Probe every line the driver can name, hit or miss.
+			for a := int64(0); a < 16; a++ {
+				check(a*mem.LineSize + int64(arg%mem.LineSize))
+			}
+		}
+	})
+}

@@ -12,6 +12,18 @@ type Class uint8
 
 const (
 	ClassNop Class = iota
+	// Dedicated classes for the hottest single-cycle ALU ops: the
+	// interpreter computes these inline in its dense switch, with no
+	// second dispatch through EvalALU.
+	ClassAdd  // Dst = Src1 + Src2
+	ClassSub  // Dst = Src1 - Src2
+	ClassAnd  // Dst = Src1 & Src2
+	ClassOr   // Dst = Src1 | Src2
+	ClassXor  // Dst = Src1 ^ Src2
+	ClassAddI // Dst = Src1 + Imm
+	ClassAndI // Dst = Src1 & Imm
+	ClassOrI  // Dst = Src1 | Imm
+	ClassXorI // Dst = Src1 ^ Imm
 	ClassALURR
 	ClassALURRMul // Mul: pays the multiplier's extra cycles
 	ClassALURRDiv // Div/Rem: pays the divider's extra cycles
@@ -23,7 +35,9 @@ const (
 	ClassLdB
 	ClassSt
 	ClassStB
-	ClassBranch
+	ClassBeq    // taken iff Src1 == Src2
+	ClassBne    // taken iff Src1 != Src2
+	ClassBranch // remaining comparisons, resolved via BranchTaken
 	ClassJmp
 	ClassCall
 	ClassRet
@@ -37,12 +51,74 @@ const (
 	NumClasses
 )
 
+// TouchesMemSystem reports whether interpreting an instruction of class
+// cl can call into the memory system beyond the per-instruction fetch.
+// Scheme state (persist buffers, rename tables, structural-backup
+// requests) can only change across such instructions, which lets the
+// engine hoist per-instruction scheme queries out of pure-compute runs.
+func (cl Class) TouchesMemSystem() bool {
+	switch cl {
+	case ClassLd, ClassLdB, ClassSt, ClassStB,
+		ClassCkptSt, ClassSavePC, ClassRegionEnd, ClassClwb, ClassFence:
+		return true
+	}
+	return false
+}
+
+// Interpreter fast-path flags, one byte per class: the fused engine
+// loops test the whole byte for zero to take the common pure-compute
+// path with a single branch instead of re-deriving each property.
+const (
+	// FlagMemSystem mirrors TouchesMemSystem.
+	FlagMemSystem uint8 = 1 << iota
+	// FlagDelim marks the region delimiters (region end, fence).
+	FlagDelim
+	// FlagHalt marks the halt class.
+	FlagHalt
+)
+
+// ClassFlags tabulates the fast-path flags per class.
+var ClassFlags = func() (t [NumClasses]uint8) {
+	for cl := Class(0); cl < NumClasses; cl++ {
+		var f uint8
+		if cl.TouchesMemSystem() {
+			f |= FlagMemSystem
+		}
+		if cl == ClassRegionEnd || cl == ClassFence {
+			f |= FlagDelim
+		}
+		if cl == ClassHalt {
+			f |= FlagHalt
+		}
+		t[cl] = f
+	}
+	return t
+}()
+
 // Class returns the dispatch class of o. It panics on an opcode outside
 // the ISA, mirroring the interpreter's malformed-code contract.
 func (o Op) Class() Class {
 	switch {
 	case o == OpNop:
 		return ClassNop
+	case o == OpAdd:
+		return ClassAdd
+	case o == OpSub:
+		return ClassSub
+	case o == OpAnd:
+		return ClassAnd
+	case o == OpOr:
+		return ClassOr
+	case o == OpXor:
+		return ClassXor
+	case o == OpAddI:
+		return ClassAddI
+	case o == OpAndI:
+		return ClassAndI
+	case o == OpOrI:
+		return ClassOrI
+	case o == OpXorI:
+		return ClassXorI
 	case o == OpMul:
 		return ClassALURRMul
 	case o == OpDiv, o == OpRem:
@@ -65,6 +141,10 @@ func (o Op) Class() Class {
 		return ClassSt
 	case o == OpStB:
 		return ClassStB
+	case o == OpBeq:
+		return ClassBeq
+	case o == OpBne:
+		return ClassBne
 	case o.IsBranch():
 		return ClassBranch
 	case o == OpJmp:

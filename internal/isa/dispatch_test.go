@@ -39,8 +39,14 @@ func TestClassLatencySplits(t *testing.T) {
 		{OpDiv, ClassALURRDiv},
 		{OpRem, ClassALURRDiv},
 		{OpMulI, ClassALURIMul},
-		{OpAdd, ClassALURR},
-		{OpAddI, ClassALURI},
+		{OpAdd, ClassAdd},
+		{OpAddI, ClassAddI},
+		{OpXor, ClassXor},
+		{OpShl, ClassALURR},
+		{OpShlI, ClassALURI},
+		{OpBeq, ClassBeq},
+		{OpBne, ClassBne},
+		{OpBlt, ClassBranch},
 		{OpRegionEnd, ClassRegionEnd},
 		{OpFence, ClassFence},
 		{OpCkptSt, ClassCkptSt},

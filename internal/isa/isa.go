@@ -239,12 +239,28 @@ func (in Instr) String() string {
 // Division or remainder by zero yields 0, matching the simulator's
 // deliberately total semantics (real hardware would trap; the benchmark
 // kernels never divide by zero, but totality keeps property tests simple).
+// The add/sub fast path is split out so it inlines into the interpreter's
+// dispatch loop (the Go inliner's budget is 80 nodes; more cases push it
+// over); everything else falls through to the cold half. Semantics are
+// identical to one flat switch.
 func EvalALU(op Op, a, b int64) int64 {
 	switch op {
 	case OpAdd, OpAddI:
 		return a + b
 	case OpSub:
 		return a - b
+	}
+	return evalALUSlow(op, a, b)
+}
+
+func evalALUSlow(op Op, a, b int64) int64 {
+	switch op {
+	case OpAnd, OpAndI:
+		return a & b
+	case OpXor, OpXorI:
+		return a ^ b
+	case OpOr, OpOrI:
+		return a | b
 	case OpMul, OpMulI:
 		return a * b
 	case OpDiv:
@@ -257,12 +273,6 @@ func EvalALU(op Op, a, b int64) int64 {
 			return 0
 		}
 		return a % b
-	case OpAnd, OpAndI:
-		return a & b
-	case OpOr, OpOrI:
-		return a | b
-	case OpXor, OpXorI:
-		return a ^ b
 	case OpShl, OpShlI:
 		return a << (uint64(b) & 63)
 	case OpShr, OpShrI:
@@ -283,13 +293,20 @@ func EvalALU(op Op, a, b int64) int64 {
 	panic("isa: EvalALU called with non-ALU op " + op.String())
 }
 
-// BranchTaken evaluates a conditional branch.
+// BranchTaken evaluates a conditional branch. Like EvalALU it is split so
+// the hot comparisons inline into the dispatch loop.
 func BranchTaken(op Op, a, b int64) bool {
 	switch op {
 	case OpBeq:
 		return a == b
 	case OpBne:
 		return a != b
+	}
+	return branchTakenSlow(op, a, b)
+}
+
+func branchTakenSlow(op Op, a, b int64) bool {
+	switch op {
 	case OpBlt:
 		return a < b
 	case OpBge:

@@ -8,8 +8,10 @@
 package mem
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"sort"
 )
 
 // LineSize is the cacheline (and persist-buffer entry) granularity in
@@ -157,6 +159,30 @@ func (m *NVM) PokeLine(addr int64, src *[LineSize]byte) {
 func (m *NVM) WriteLine(addr int64, src *[LineSize]byte) {
 	m.LineWrites++
 	m.PokeLine(addr, src)
+}
+
+// ContentHash returns a SHA-256 digest of the memory contents over
+// [0, size). All-zero pages hash identically whether or not they were ever
+// materialized, so two NVMs with m.Equal(o) share a hash. Golden tests use
+// this to pin final memory images without storing them.
+func (m *NVM) ContentHash() [sha256.Size]byte {
+	bases := make([]int64, 0, len(m.pages))
+	for base, p := range m.pages {
+		if *p != ([pageSize]byte{}) {
+			bases = append(bases, base)
+		}
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	h := sha256.New()
+	var hdr [8]byte
+	for _, base := range bases {
+		binary.LittleEndian.PutUint64(hdr[:], uint64(base))
+		h.Write(hdr[:])
+		h.Write(m.pages[base][:])
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
 }
 
 // ResetCounters zeroes the traffic counters, keeping contents.

@@ -43,12 +43,68 @@ type Buffer struct {
 	Region uint64
 
 	cap int
+	// idx is a fixed-size open-addressed (linear probing) table mapping a
+	// line address to the position of its youngest entry, so Find locates
+	// the hit arithmetically instead of scanning entry data. The *charged*
+	// search cost is unchanged: callers derive the modelled sequential
+	// probe depth from the returned position (FindDepth). Sized at twice
+	// the entry capacity, the load factor never exceeds one half. Slots
+	// are generation-tagged: a slot is live iff its gen equals idxGen, and
+	// emptying the buffer bumps idxGen instead of wiping the table, so the
+	// per-region Claim/Drain/Discard cycle costs one increment. Within one
+	// generation slots only ever fill — never empty — which keeps every
+	// live key reachable from its home slot without tombstones.
+	idx      []idxSlot
+	idxMask  uint64
+	idxShift uint
+	idxGen   uint64
+}
+
+type idxSlot struct {
+	key int64 // line address
+	pos int32 // youngest entry position for key
+	gen uint64
 }
 
 // NewBuffer returns an empty buffer with the given entry capacity (the
 // store threshold, Section 4.5).
 func NewBuffer(capacity int) *Buffer {
-	return &Buffer{cap: capacity}
+	size, bits := 8, uint(3)
+	for size < 2*capacity {
+		size <<= 1
+		bits++
+	}
+	return &Buffer{
+		cap:      capacity,
+		idx:      make([]idxSlot, size),
+		idxMask:  uint64(size - 1),
+		idxShift: 64 - bits,
+		// Zeroed slots carry gen 0; starting the generation at 1 makes
+		// them stale without an initialization pass.
+		idxGen: 1,
+	}
+}
+
+// idxHome returns la's home slot: a Fibonacci hash of the line number,
+// taking the high multiply bits for spread.
+func (b *Buffer) idxHome(la int64) uint64 {
+	return (uint64(la) >> 6 * 0x9E3779B97F4A7C15) >> b.idxShift & b.idxMask
+}
+
+// idxPut records pos as the youngest entry for la. Linear probing stops at
+// la's existing slot (overwritten: youngest wins) or the first stale slot;
+// a stale slot cannot precede a live key in its chain, because live slots
+// never empty within a generation.
+func (b *Buffer) idxPut(la int64, pos int) {
+	i := b.idxHome(la)
+	for {
+		s := &b.idx[i]
+		if s.gen != b.idxGen || s.key == la {
+			s.key, s.pos, s.gen = la, int32(pos), b.idxGen
+			return
+		}
+		i = (i + 1) & b.idxMask
+	}
 }
 
 // Cap returns the entry capacity.
@@ -65,6 +121,7 @@ func (b *Buffer) Claim(region uint64) {
 		panic("persist: claiming an unretired buffer")
 	}
 	b.Entries = b.Entries[:0]
+	b.idxGen++
 	b.Sealed = false
 	b.Retired = false
 	b.Phase1End = 0
@@ -83,7 +140,9 @@ func (b *Buffer) Append(addr int64, data *[mem.LineSize]byte) {
 	if len(b.Entries) >= b.cap {
 		panic("persist: buffer overflow — compiler store threshold violated")
 	}
-	b.Entries = append(b.Entries, Entry{Addr: mem.LineAddr(addr), Data: *data})
+	la := mem.LineAddr(addr)
+	b.Entries = append(b.Entries, Entry{Addr: la, Data: *data})
+	b.idxPut(la, len(b.Entries)-1)
 }
 
 // Seal closes the buffer at a region end, appending the s-phase1 flush
@@ -101,6 +160,7 @@ func (b *Buffer) Seal(now int64, flush []Entry, perLine1, perLine2, phase2Floor 
 			panic("persist: buffer overflow at seal — store threshold violated")
 		}
 		b.Entries = append(b.Entries, flush[i])
+		b.idxPut(flush[i].Addr, len(b.Entries)-1)
 	}
 	b.Sealed = true
 	b.Phase1End = now + int64(len(flush))*perLine1
@@ -122,15 +182,32 @@ func (b *Buffer) Phase2CompleteAt(t int64) bool {
 }
 
 // Find returns the youngest entry for addr's line, or nil. The caller
-// accounts search latency (sequential, NVM-resident — Section 4.4).
+// accounts search latency (sequential, NVM-resident — Section 4.4); use
+// FindDepth when the modelled probe depth is needed.
 func (b *Buffer) Find(addr int64) *Entry {
+	e, _ := b.FindDepth(addr)
+	return e
+}
+
+// FindDepth returns the youngest entry for addr's line (or nil) plus the
+// number of entries the modelled hardware's youngest-first sequential scan
+// would probe: Len()-i for a hit at position i, Len() for a miss. The hit
+// position comes from the youngest-entry index, so no entry data is
+// touched, but the charged per-entry search cost is exactly the linear
+// scan's.
+func (b *Buffer) FindDepth(addr int64) (*Entry, int) {
 	la := mem.LineAddr(addr)
-	for i := len(b.Entries) - 1; i >= 0; i-- {
-		if b.Entries[i].Addr == la {
-			return &b.Entries[i]
+	i := b.idxHome(la)
+	for {
+		s := &b.idx[i]
+		if s.gen != b.idxGen {
+			return nil, len(b.Entries)
 		}
+		if s.key == la {
+			return &b.Entries[s.pos], len(b.Entries) - int(s.pos)
+		}
+		i = (i + 1) & b.idxMask
 	}
-	return nil
 }
 
 // Drain applies the FIFO to NVM oldest-first, so a younger duplicate
@@ -142,6 +219,7 @@ func (b *Buffer) Drain(nvm *mem.NVM) {
 		nvm.WriteLine(b.Entries[i].Addr, &b.Entries[i].Data)
 	}
 	b.Entries = b.Entries[:0]
+	b.idxGen++
 	b.Retired = true
 }
 
@@ -149,6 +227,7 @@ func (b *Buffer) Drain(nvm *mem.NVM) {
 // case for a power-interrupted region.
 func (b *Buffer) Discard() {
 	b.Entries = b.Entries[:0]
+	b.idxGen++
 	b.Sealed = false
 	b.Retired = true
 }

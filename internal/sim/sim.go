@@ -279,6 +279,22 @@ type runner struct {
 	now          int64
 	armed        bool
 	regionInstrs int
+	// ec parameterizes the fused epoch loop (untraced harvested-power
+	// runs); run-constant fields are filled once by runBatched, the
+	// per-epoch fields by runEpoch.
+	ec cpu.EpochControl
+	// fetchFree mirrors the core's fetch elision: when set, pure-compute
+	// instructions provably never enter the memory system, so scheme
+	// queries (NeedsBackup) hold across them.
+	fetchFree bool
+
+	// eInstrByNs tabulates EInstr + PRun*ns*1e-9 per instruction latency,
+	// pre-filled by Run for every ns below the table length (latencies
+	// cluster on cycle multiples plus fixed memory costs). The table
+	// converts the per-instruction float conversion and multiplies into
+	// one load; each entry is the bit-exact result of the original
+	// expression, so ledger totals are unchanged.
+	eInstrByNs []float64
 
 	// Forward-progress guard: a configuration whose per-cycle energy
 	// window cannot cover even one instruction (plus its own restore
@@ -303,8 +319,10 @@ func Run(l *ir.Linked, s arch.Scheme, opt Options) (*Result, error) {
 	InitNVM(s, l)
 	s.SetTracer(opt.Tracer)
 	core := cpu.NewLinked(l)
+	fetchFree := false
 	if ff, ok := s.(cpu.FreeFetcher); ok && ff.FetchIsFree() {
 		core.SetFetchFree(true)
+		fetchFree = true
 	}
 	s.Boot(int64(l.EntryPC))
 
@@ -319,8 +337,14 @@ func Run(l *ir.Linked, s arch.Scheme, opt Options) (*Result, error) {
 		cap:    energy.NewCapacitor(p.CapacitorF, p.Vmax, p.Vmax),
 		tr:     opt.Tracer,
 		res:    &Result{Scheme: s.Name(), RegionSizes: stats.NewHist(opt.RegionHistMax)},
-		timing: cpu.StepTiming{CycleNs: p.CycleNs, MulCycles: p.MulCycles, DivCycles: p.DivCycles},
-		armed:  true,
+		timing:    cpu.StepTiming{CycleNs: p.CycleNs, MulCycles: p.MulCycles, DivCycles: p.DivCycles},
+		armed:     true,
+		fetchFree: fetchFree,
+
+		eInstrByNs: make([]float64, 4096),
+	}
+	for ns := range r.eInstrByNs {
+		r.eInstrByNs[ns] = p.EInstr + p.PRun*float64(ns)*1e-9
 	}
 	if opt.Source != nil {
 		r.cursor = trace.NewCursor(opt.Source)
@@ -366,7 +390,7 @@ func (r *runner) drawRun(dt int64) {
 
 // powerCycle sleeps through a recharge and restores the scheme.
 func (r *runner) powerCycle() error {
-	p, s, core, led, cap, res := r.p, r.s, r.core, r.led, r.cap, r.res
+	p, s, core, led, cap, res := &r.p, r.s, r.core, r.led, r.cap, r.res
 	if core.Counts.Executed == r.lastOutageExec {
 		r.zeroProgress++
 		if r.zeroProgress > 256 {
@@ -431,7 +455,7 @@ func (r *runner) powerCycle() error {
 // re-arming. It reports handled=true when a power cycle consumed the slot
 // and the caller must re-enter its loop from the top.
 func (r *runner) preInstrEvents() (handled bool, err error) {
-	p, s, core, led, cap := r.p, r.s, r.core, r.led, r.cap
+	p, s, core, led, cap := &r.p, r.s, r.core, r.led, r.cap
 	// Structural backup request (NvMR rename-table full).
 	if s.JIT() && s.NeedsBackup() {
 		before := led.Total()
@@ -499,7 +523,7 @@ func (r *runner) stepPrecise() {
 	}
 	before := r.led.Total()
 	ns, cl := r.core.StepFast(r.now, r.ms, r.timing)
-	r.led.Compute += r.p.EInstr + r.p.PRun*float64(ns)*1e-9
+	r.led.Compute += r.instrEnergy(ns)
 	if r.cursor != nil {
 		r.cap.Add(r.cursor.Harvest(ns))
 	}
@@ -530,6 +554,17 @@ func (r *runner) runPrecise() error {
 	return nil
 }
 
+// instrEnergy returns the instruction's ledger charge, bit-identical to
+// computing p.EInstr + p.PRun*float64(ns)*1e-9 inline (the table holds
+// exactly that value, pre-filled by Run; float arithmetic is
+// deterministic). The common path is one bounds test and one load.
+func (r *runner) instrEnergy(ns int64) float64 {
+	if ns < int64(len(r.eInstrByNs)) {
+		return r.eInstrByNs[ns]
+	}
+	return r.p.EInstr + r.p.PRun*float64(ns)*1e-9
+}
+
 // runOutageFree is the ideal-supply engine (the Figure 5 configuration).
 // With no power trace the capacitor can never cross a threshold and
 // nothing observable ever reads it, so the loop carries no capacitor work
@@ -537,7 +572,7 @@ func (r *runner) runPrecise() error {
 // the precise path's per-instruction arithmetic, so results stay
 // byte-identical with Options.Precise.
 func (r *runner) runOutageFree() error {
-	p, core, led, tr := r.p, r.core, r.led, r.tr
+	core, led, tr := r.core, r.led, r.tr
 	ms, timing := r.ms, r.timing
 	max := r.opt.MaxInstructions
 	hist := r.res.RegionSizes
@@ -545,23 +580,42 @@ func (r *runner) runOutageFree() error {
 	// stay in registers across the interpreter call); synced back on loop
 	// exit, and before any emit, which reads r.now.
 	now, runNs, ri := r.now, r.res.RunNs, r.regionInstrs
-	for !core.Halted {
-		if core.Counts.Executed >= max {
-			break
+	if tr == nil {
+		// No tracer: the fused interpreter loop retires whole regions per
+		// call, with the identical per-instruction ledger arithmetic (the
+		// traced-versus-untraced matrix test pins the equivalence).
+		for !core.Halted {
+			ns, n, delim := core.RunUntraced(now, ms, timing,
+				r.eInstrByNs, r.p.EInstr, r.p.PRun, &led.Compute, max)
+			now += ns
+			runNs += ns
+			if delim {
+				hist.Add(ri + n - 1)
+				ri = 0
+				continue
+			}
+			ri += n
+			if !core.Halted {
+				break // instruction budget
+			}
 		}
-		if tr != nil {
+	} else {
+		for !core.Halted {
+			if core.Counts.Executed >= max {
+				break
+			}
 			r.now = now
 			r.preStepEmit()
-		}
-		ns, cl := core.StepFast(now, ms, timing)
-		led.Compute += p.EInstr + p.PRun*float64(ns)*1e-9
-		now += ns
-		runNs += ns
-		if cl == isa.ClassRegionEnd || cl == isa.ClassFence {
-			hist.Add(ri)
-			ri = 0
-		} else {
-			ri++
+			ns, cl := core.StepFast(now, ms, timing)
+			led.Compute += r.instrEnergy(ns)
+			now += ns
+			runNs += ns
+			if cl == isa.ClassRegionEnd || cl == isa.ClassFence {
+				hist.Add(ri)
+				ri = 0
+			} else {
+				ri++
+			}
 		}
 	}
 	r.now, r.res.RunNs, r.regionInstrs = now, runNs, ri
@@ -579,11 +633,12 @@ func (r *runner) runOutageFree() error {
 // close to the end of the current power-trace segment, or simply too
 // close to a trigger threshold for a worthwhile epoch.
 //
-// The budget is half the slack between the present stored energy and the
-// highest trigger floor. Draw is bounded by the ledger delta regardless
-// of harvest, so before every instruction of the epoch the capacitor
-// provably holds more than any trigger threshold — the precise path's
-// voltage comparisons could not have fired and are skipped wholesale.
+// The budget is a fixed fraction (strictly below one) of the slack
+// between the present stored energy and the highest trigger floor. Draw
+// is bounded by the ledger delta regardless of harvest, so before every
+// instruction of the epoch the capacitor provably holds more than any
+// trigger threshold — the precise path's voltage comparisons could not
+// have fired and are skipped wholesale.
 func (r *runner) epochBudget(jit bool) float64 {
 	if jit && !r.armed {
 		return 0
@@ -608,7 +663,15 @@ func (r *runner) epochBudget(jit bool) float64 {
 			floor = eb
 		}
 	}
-	budget := (eNow - floor) / 2
+	// Any fraction strictly below one keeps every pre-instruction point of
+	// the epoch above the floor (the draw at each such point is below the
+	// budget, and harvest only adds), so the reference engine's threshold
+	// comparisons provably could not have fired — the equivalence is to
+	// the precise path, independent of the fraction. 7/8 rather than 1/2
+	// makes the per-discharge epoch count log_{8}, not log_{2}, and leaves
+	// correspondingly fewer instructions to the precise-stepping tail once
+	// the slack stops being worth an epoch.
+	budget := (eNow - floor) * 0.875
 	minWorthwhile := minEpochInstrs * (r.p.EInstr + r.p.PRun*float64(r.p.CycleNs)*1e-9)
 	if budget <= minWorthwhile {
 		return 0
@@ -621,16 +684,55 @@ func (r *runner) epochBudget(jit bool) float64 {
 // next instruction might not fit in the current power-trace segment, on
 // a structural backup request, on halt, or at the instruction budget.
 func (r *runner) runEpoch(jit bool, budget float64) {
-	p, core, led, tr, s := r.p, r.core, r.led, r.tr, r.s
+	core, led, tr, s := r.core, r.led, r.tr, r.s
 	ms, timing := r.ms, r.timing
-	max := r.opt.MaxInstructions
-	hist := r.res.RegionSizes
 	ledStart := led.Total()
 	segRem := r.cursor.SegmentRemaining()
+	if tr == nil {
+		// No tracer: one fused interpreter call retires the whole epoch
+		// (the traced-versus-untraced matrix test pins the equivalence).
+		// The initial backup check mirrors the per-step loop's first
+		// iteration: a pending request ends the epoch before any
+		// instruction retires.
+		var epochNs int64
+		if !(jit && s.NeedsBackup()) {
+			ec := &r.ec
+			ec.LedStart, ec.Budget, ec.SegRem = ledStart, budget, segRem
+			ec.RegionInstrs = r.regionInstrs
+			elapsed, ri := core.RunEpoch(r.now, ms, timing, ec)
+			r.now += elapsed
+			r.res.RunNs += elapsed
+			r.regionInstrs = ri
+			epochNs = elapsed
+		}
+		r.cap.Draw(led.Total() - ledStart)
+		r.cap.Add(r.cursor.Harvest(epochNs))
+		return
+	}
+	max := r.opt.MaxInstructions
+	hist := r.res.RegionSizes
 	now, runNs, ri := r.now, r.res.RunNs, r.regionInstrs
 	var epochNs int64
+	// NeedsBackup is an interface call per iteration, but scheme state
+	// only changes across instructions that enter the memory system, so
+	// the answer is re-queried only after those (or after every
+	// instruction when fetches are charged — a fetch enters the scheme
+	// too). Branch outcomes are identical to querying every iteration.
+	needBk := jit && s.NeedsBackup()
+	// cSafe is a Compute watermark below which the budget comparison is
+	// provably still false, so the exact ledger fold can be skipped on
+	// pure-compute instructions. Soundness: Total() is monotone
+	// non-decreasing in Compute with the other fields held fixed (IEEE
+	// round-to-nearest addition is monotone in each operand, and the fold
+	// composes monotone steps), and the other fields can change only when
+	// an instruction enters the memory system. Starting at Compute forces
+	// an exact evaluation on the first instruction (energies are
+	// non-negative). Whenever the budget comparison matters it is
+	// evaluated with the exact original expression, so the epoch boundary
+	// — and every downstream bit — is unchanged.
+	cSafe := led.Compute
 	for {
-		if jit && s.NeedsBackup() {
+		if needBk {
 			break
 		}
 		if core.Counts.Executed >= max {
@@ -641,10 +743,14 @@ func (r *runner) runEpoch(jit bool, budget float64) {
 			r.preStepEmit()
 		}
 		ns, cl := core.StepFast(now, ms, timing)
-		led.Compute += p.EInstr + p.PRun*float64(ns)*1e-9
+		led.Compute += r.instrEnergy(ns)
 		now += ns
 		runNs += ns
 		epochNs += ns
+		memTouch := !r.fetchFree || cl.TouchesMemSystem()
+		if jit && memTouch {
+			needBk = s.NeedsBackup()
+		}
 		if cl == isa.ClassRegionEnd || cl == isa.ClassFence {
 			hist.Add(ri)
 			ri = 0
@@ -652,9 +758,26 @@ func (r *runner) runEpoch(jit bool, budget float64) {
 			ri++
 		}
 		if core.Halted || ns >= epochMaxInstrNs ||
-			led.Total()-ledStart >= budget ||
 			epochNs+epochMaxInstrNs >= segRem {
 			break
+		}
+		if memTouch || led.Compute >= cSafe {
+			t := led.Total()
+			if t-ledStart >= budget {
+				break
+			}
+			// Re-arm the watermark at half the remaining slack: the
+			// half not granted dwarfs the rounding drift between the
+			// incremental Compute adds and the fresh fold (~1e-15
+			// relative), so crossing the budget while below cSafe is
+			// impossible. Near the epoch's end the slack collapses and
+			// the floor forces exact evaluation every instruction.
+			slack := budget - (t - ledStart)
+			if slack > (t+1)*1e-9 {
+				cSafe = led.Compute + 0.5*slack
+			} else {
+				cSafe = led.Compute
+			}
 		}
 	}
 	r.now, r.res.RunNs, r.regionInstrs = now, runNs, ri
@@ -672,6 +795,19 @@ func (r *runner) runEpoch(jit bool, budget float64) {
 // the stored energy is provably far from every trigger threshold.
 func (r *runner) runBatched() error {
 	jit := r.s.JIT()
+	if r.tr == nil {
+		r.ec = cpu.EpochControl{
+			EByNs:       r.eInstrByNs,
+			EInstr:      r.p.EInstr,
+			PRun:        r.p.PRun,
+			Max:         r.opt.MaxInstructions,
+			Jit:         jit,
+			NeedsBackup: r.s.NeedsBackup,
+			Led:         r.led,
+			MaxInstrNs:  epochMaxInstrNs,
+			OnRegionEnd: r.res.RegionSizes.Add,
+		}
+	}
 	for !r.core.Halted {
 		if r.core.Counts.Executed >= r.opt.MaxInstructions {
 			return r.budgetErr()

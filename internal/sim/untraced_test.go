@@ -1,0 +1,58 @@
+package sim_test
+
+// The engine runs a fused interpreter loop (cpu.RunUntraced) when no
+// tracer is attached, and the per-step loop when one is. Both must produce
+// the same Result down to the last bit — the benchmarks and production
+// runs use the fused loop, while the golden digests are captured through
+// the traced loop. This test pins the equivalence across the full quick
+// matrix in both supply regimes, which (together with TestFastPathGolden)
+// extends the byte-identity proof to the untraced path.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestUntracedMatchesTraced(t *testing.T) {
+	profiles := map[string]*trace.Profile{
+		"outage-free": nil,
+		"RFHome":      func() *trace.Profile { p := trace.RFHome; return &p }(),
+	}
+	for _, w := range quickWorkloads(t) {
+		for _, k := range arch.AllKinds() {
+			for pname, profile := range profiles {
+				w, k, profile := w, k, profile
+				t.Run(w.Name+"/"+k.String()+"/"+pname, func(t *testing.T) {
+					t.Parallel()
+					traced, _ := runEngine(t, w, k, profile, false)
+
+					p := config.Default()
+					cres, err := core.Compile(func() *ir.Program { return w.Build(1) }, k, p)
+					if err != nil {
+						t.Fatalf("compile: %v", err)
+					}
+					var src trace.Source
+					if profile != nil {
+						src = trace.New(*profile, 1)
+					}
+					untraced, err := sim.Run(cres.Linked, arch.New(k, p), sim.Options{Source: src})
+					if err != nil {
+						t.Fatalf("untraced run: %v", err)
+					}
+
+					a, b := canonicalResult(traced), canonicalResult(untraced)
+					if !bytes.Equal(a, b) {
+						t.Errorf("traced and untraced results diverge:\ntraced:\n%s\nuntraced:\n%s", a, b)
+					}
+				})
+			}
+		}
+	}
+}
