@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench bench-json bench-telemetry check clean
+.PHONY: all build test vet bench bench-json bench-telemetry chaos check clean
 
 all: check
 
@@ -31,6 +31,12 @@ bench-json:
 # Tracer overhead: disabled vs discard-sink vs JSONL-encoding runs.
 bench-telemetry:
 	$(GO) test -run xxx -bench BenchmarkTelemetry -benchmem .
+
+# Resilience suite under the race detector plus a real SIGKILL
+# kill/resume smoke against the sweepexp binary (docs/ROBUSTNESS.md).
+chaos:
+	$(GO) test -race -count=1 -run 'TestKillResume|TestPanicIsolation|TestRunMatrix|TestCellTimeout|TestCancel|TestOpenTolerance|TestAttemptSalting|TestPanicDeterminism|TestCorruptFile' ./internal/exp/ ./internal/sim/ ./internal/journal/ ./internal/chaos/
+	./scripts/kill_resume_smoke.sh
 
 check: build vet test
 

@@ -5,17 +5,31 @@
 //	sweepexp -exp fig5            # one experiment
 //	sweepexp -exp all             # everything (EXPERIMENTS.md source)
 //	sweepexp -exp fig7 -quick     # reduced workload subset
+//	sweepexp -exp all -journal run.jsonl   # crash-safe: kill and rerun to resume
 //	sweepexp -list                # list experiment names
+//
+// Ctrl-C (or -timeout) cancels the run promptly: in-flight simulations
+// abort at their next epoch boundary, workers drain, and the process
+// exits 130. With -journal, cells completed before the interruption are
+// durable and a rerun with the same flags resumes where it stopped,
+// producing byte-identical results (see docs/ROBUSTNESS.md).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
+	"repro/internal/chaos"
+	"repro/internal/config"
 	"repro/internal/exp"
+	"repro/internal/journal"
 	"repro/internal/telemetry"
 )
 
@@ -121,6 +135,11 @@ func main() {
 	metricsFile := flag.String("metrics", "", "write metrics aggregated across every simulated run to this file ('-' = stdout)")
 	traceDir := flag.String("tracedir", "", "record one JSONL telemetry stream per simulated run into this directory")
 	pprofPrefix := flag.String("pprof", "", "write <prefix>.cpu.pb.gz and <prefix>.mem.pb.gz profiles")
+	paramsFile := flag.String("params", "", "JSON file of config.Params overrides (validated before any run)")
+	timeout := flag.Duration("timeout", 0, "cancel the whole run after this duration (0 = none)")
+	cellTimeout := flag.Duration("celltimeout", 0, "per-cell wall-clock bound; an overrunning cell fails while the rest complete (0 = none)")
+	journalPath := flag.String("journal", "", "append-only cell journal for crash-safe resume; rerun with the same flags to skip proven cells")
+	chaosSpec := flag.String("chaos", "", "fault-injection spec, e.g. 'seed=7,panic=0.05,cancel=12,delay=5ms' (testing only)")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
 
@@ -143,8 +162,55 @@ func main() {
 	ctx.Scale = *scale
 	ctx.Seed = *seed
 	ctx.Out = os.Stdout
+	ctx.CellTimeout = *cellTimeout
+	if *paramsFile != "" {
+		raw, err := os.ReadFile(*paramsFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweepexp: %v\n", err)
+			os.Exit(1)
+		}
+		p, err := config.FromJSON(raw)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweepexp: -params %s: %v\n", *paramsFile, err)
+			os.Exit(1)
+		}
+		ctx.Params = p
+	}
 	if *metricsFile != "" {
 		ctx.Metrics = telemetry.NewSnapshot()
+	}
+
+	// Ctrl-C / SIGTERM cancel the run; a second signal kills the process
+	// outright via the restored default handler.
+	runCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(runCtx, *timeout)
+		defer cancel()
+	}
+	ctx.Ctx = runCtx
+
+	if *journalPath != "" {
+		jn, err := journal.Open(*journalPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweepexp: journal %s: %v\n", *journalPath, err)
+			os.Exit(1)
+		}
+		defer jn.Close()
+		if st := jn.Stats(); st.Loaded > 0 || st.Corrupt > 0 {
+			fmt.Fprintf(os.Stderr, "sweepexp: journal %s: %d cells loaded, %d corrupt lines skipped\n",
+				*journalPath, st.Loaded, st.Corrupt)
+		}
+		ctx.Journal = jn
+	}
+	if *chaosSpec != "" {
+		cfg, err := chaos.Parse(*chaosSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweepexp: %v\n", err)
+			os.Exit(1)
+		}
+		ctx.Chaos = chaos.New(cfg)
 	}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
@@ -169,6 +235,13 @@ func main() {
 		if *name == "all" || *name == e.name {
 			ran = true
 			if err := e.run(ctx); err != nil {
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					fmt.Fprintf(os.Stderr, "sweepexp: %s: interrupted: %v\n", e.name, err)
+					if *journalPath != "" {
+						fmt.Fprintf(os.Stderr, "sweepexp: completed cells are journaled in %s — rerun with the same flags to resume\n", *journalPath)
+					}
+					os.Exit(130)
+				}
 				fmt.Fprintf(os.Stderr, "sweepexp: %s: %v\n", e.name, err)
 				os.Exit(1)
 			}

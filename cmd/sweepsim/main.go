@@ -19,10 +19,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/arch"
 	"repro/internal/config"
@@ -63,6 +67,8 @@ func main() {
 	chrometrace := flag.String("chrometrace", "", "write telemetry events as a Chrome/Perfetto trace to this file")
 	metricsFile := flag.String("metrics", "", "write the metrics snapshot as text to this file ('-' = stdout)")
 	pprofPrefix := flag.String("pprof", "", "write <prefix>.cpu.pb.gz and <prefix>.mem.pb.gz profiles")
+	paramsFile := flag.String("params", "", "JSON file of config.Params overrides (validated before the run)")
+	timeout := flag.Duration("timeout", 0, "cancel the simulation after this duration (0 = none)")
 	list := flag.Bool("list", false, "list workloads and schemes")
 	flag.Parse()
 
@@ -91,8 +97,29 @@ func main() {
 	}
 
 	p := config.Default()
-	p.CapacitorF = *capNF * 1e-9
-	p.CacheSize = *cacheKB << 10
+	if *paramsFile != "" {
+		raw, err := os.ReadFile(*paramsFile)
+		if err != nil {
+			fail("%v", err)
+		}
+		p, err = config.FromJSON(raw)
+		if err != nil {
+			fail("-params %s: %v", *paramsFile, err)
+		}
+	}
+	// The -cap/-cache conveniences only apply when given explicitly, so
+	// their defaults cannot silently clobber a -params file.
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "cap":
+			p.CapacitorF = *capNF * 1e-9
+		case "cache":
+			p.CacheSize = *cacheKB << 10
+		}
+	})
+	if err := p.Validate(); err != nil {
+		fail("%v", err)
+	}
 
 	if *pprofPrefix != "" {
 		stop, err := telemetry.StartProfiles(*pprofPrefix)
@@ -127,8 +154,18 @@ func main() {
 		tr = telemetry.NewTracer(sinks, 0)
 	}
 
+	// Ctrl-C / SIGTERM (or -timeout) abort the simulation at its next
+	// epoch boundary and exit 130.
+	runCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(runCtx, *timeout)
+		defer cancel()
+	}
+
 	build := func() *ir.Program { return w.Build(*scale) }
-	res, err := core.RunTraced(build, kind, p, src, tr)
+	res, err := core.RunTracedCtx(runCtx, build, kind, p, src, tr)
 	if cerr := tr.Close(); cerr != nil && err == nil {
 		err = cerr
 	}
@@ -138,6 +175,10 @@ func main() {
 		}
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "sweepsim: interrupted: %v\n", err)
+			os.Exit(130)
+		}
 		fail("%v", err)
 	}
 

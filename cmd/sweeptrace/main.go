@@ -22,6 +22,7 @@ func main() {
 	sweeps := flag.Int("sweeps", 0, "print the N longest persist-buffer sweeps")
 	outages := flag.Bool("outages", false, "print a per-outage cycle breakdown")
 	chrome := flag.String("chrome", "", "convert the stream to a Chrome/Perfetto trace file")
+	strict := flag.Bool("strict", false, "fail on malformed lines instead of skipping them")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -31,7 +32,18 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	events, err := telemetry.ReadJSONL(f)
+	// A trace whose recorder was killed mid-write routinely ends in a
+	// truncated line; by default that damage is skipped, not fatal.
+	var events []telemetry.Event
+	if *strict {
+		events, err = telemetry.ReadJSONL(f)
+	} else {
+		var skipped int
+		events, skipped, err = telemetry.ReadJSONLTolerant(f)
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "sweeptrace: skipped %d malformed line(s) (rerun with -strict to fail instead)\n", skipped)
+		}
+	}
 	f.Close()
 	if err != nil {
 		fail("%v", err)

@@ -8,9 +8,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/trace"
@@ -37,13 +40,22 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Ctrl-C stops generation gracefully: the rows written so far flush,
+	// leaving a well-formed (if shorter) CSV instead of a torn last line.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	src := trace.New(pr, *seed)
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 	fmt.Fprintln(out, "time_us,power_uW")
 	var t int64
 	limit := duration.Nanoseconds()
-	for t < limit {
+	for i := 0; t < limit; i++ {
+		if i%1024 == 0 && ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: interrupted at %.3f ms\n", float64(t)/1e6)
+			break
+		}
 		d, p := src.Next()
 		fmt.Fprintf(out, "%.3f,%.3f\n", float64(t)/1e3, p*1e6)
 		t += d

@@ -9,6 +9,15 @@
 // experiment (see DESIGN.md, "Calibration, not curve-fitting").
 package config
 
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
 // Params is the full parameter set for one simulation.
 type Params struct {
 	// ---- core timing ----
@@ -263,4 +272,128 @@ func (p Params) WithSweepThresholds() Params {
 // UsableEnergy returns the energy between two voltages on this capacitor.
 func (p Params) UsableEnergy(vhi, vlo float64) float64 {
 	return 0.5 * p.CapacitorF * (vhi*vhi - vlo*vlo)
+}
+
+// Validate reports the first scheme-independent inconsistency in p as a
+// descriptive error, instead of letting a malformed configuration surface
+// downstream as a NaN energy ledger, a zero-set cache panic, or an
+// infinite recharge loop. The dynamic-only failure modes — most notably a
+// restore threshold at or below the brown-out voltage, which Table 1
+// studies deliberately explore — stay with the engine's forward-progress
+// guard (ErrNoProgress) rather than being rejected here.
+func (p Params) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"Vmax", p.Vmax}, {"Vmin", p.Vmin}, {"VBackup", p.VBackup},
+		{"VRestore", p.VRestore}, {"CapacitorF", p.CapacitorF},
+		{"VBackupBoost", p.VBackupBoost}, {"SweepVmin", p.SweepVmin},
+		{"EInstr", p.EInstr}, {"ESRAMAccess", p.ESRAMAccess},
+		{"ENVMRead", p.ENVMRead}, {"ENVMWrite", p.ENVMWrite},
+		{"ENVMLineRead", p.ENVMLineRead}, {"ENVMLineWrite", p.ENVMLineWrite},
+		{"EBackupFixed", p.EBackupFixed}, {"EBackupPerLine", p.EBackupPerLine},
+		{"ERestoreFixed", p.ERestoreFixed}, {"ERestorePerLine", p.ERestorePerLine},
+		{"ESweepRestore", p.ESweepRestore}, {"PSleep", p.PSleep}, {"PRun", p.PRun},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("config: %s is %v — every energy/voltage parameter must be finite", f.name, f.v)
+		}
+		if f.v < 0 {
+			return fmt.Errorf("config: %s is negative (%v)", f.name, f.v)
+		}
+	}
+	if p.CapacitorF <= 0 {
+		return fmt.Errorf("config: non-positive capacitor size %v F — the energy buffer must store something", p.CapacitorF)
+	}
+	if p.Vmax <= 0 || p.Vmin <= 0 {
+		return fmt.Errorf("config: voltages must be positive (Vmax %v, Vmin %v)", p.Vmax, p.Vmin)
+	}
+	if p.Vmax <= p.Vmin {
+		return fmt.Errorf("config: Vmax %v must exceed Vmin %v — no usable energy window", p.Vmax, p.Vmin)
+	}
+	if p.VRestore > p.Vmax {
+		return fmt.Errorf("config: VRestore %v above Vmax %v — the capacitor can never reach the restore threshold", p.VRestore, p.Vmax)
+	}
+	if p.PRun <= 0 {
+		return fmt.Errorf("config: non-positive run power %v W", p.PRun)
+	}
+	if p.CycleNs <= 0 || p.MulCycles <= 0 || p.DivCycles <= 0 {
+		return fmt.Errorf("config: core timing must be positive (CycleNs %d, MulCycles %d, DivCycles %d)",
+			p.CycleNs, p.MulCycles, p.DivCycles)
+	}
+	if p.NVMSize <= 0 {
+		return fmt.Errorf("config: non-positive NVM size %d", p.NVMSize)
+	}
+	if p.NVMReadNs < 0 || p.NVMWriteNs < 0 || p.NVMLineReadNs < 0 || p.NVMLineWriteNs < 0 || p.NVPFetchNs < 0 {
+		return fmt.Errorf("config: negative NVM latency")
+	}
+	if p.BackupDelayNs < 0 || p.RestoreDelayNs < 0 || p.SweepRestoreDelayNs < 0 {
+		return fmt.Errorf("config: negative propagation delay")
+	}
+	if p.BackupTimeNs < 0 || p.BackupPerLineNs < 0 || p.RestoreTimeNs < 0 || p.RestorePerLineNs < 0 {
+		return fmt.Errorf("config: negative backup/restore time")
+	}
+	if p.CacheSize <= 0 || p.CacheWays <= 0 {
+		return fmt.Errorf("config: cache geometry must be positive (size %d, ways %d)", p.CacheSize, p.CacheWays)
+	}
+	if p.CacheSize < 64*p.CacheWays {
+		return fmt.Errorf("config: cache size %d below one 64 B line per way (%d ways)", p.CacheSize, p.CacheWays)
+	}
+	if p.StoreThreshold <= 0 {
+		return fmt.Errorf("config: non-positive store threshold %d — persist buffers need capacity", p.StoreThreshold)
+	}
+	if p.ClwbQueueDepth <= 0 {
+		return fmt.Errorf("config: non-positive clwb queue depth %d", p.ClwbQueueDepth)
+	}
+	if p.NvMRRenameCap <= 0 {
+		return fmt.Errorf("config: non-positive NvMR rename capacity %d", p.NvMRRenameCap)
+	}
+	return nil
+}
+
+// ValidateJIT layers the JIT-checkpoint threshold ordering on top of
+// Validate: a backup trigger at or below the brown-out voltage can never
+// fire before state is lost, and one at or above the restore threshold
+// fires the instant execution resumes. Only meaningful for schemes that
+// JIT-checkpoint under harvested power; SweepCache runs with VBackup 0.
+func (p Params) ValidateJIT() error {
+	if p.VBackup <= p.Vmin {
+		return fmt.Errorf("config: VBackup %v at or below Vmin %v — the JIT backup would fire after brown-out", p.VBackup, p.Vmin)
+	}
+	if p.VBackup >= p.VRestore {
+		return fmt.Errorf("config: VBackup %v at or above VRestore %v — execution would re-backup immediately on restore", p.VBackup, p.VRestore)
+	}
+	return nil
+}
+
+// FromJSON decodes a partial parameter override on top of Default() and
+// validates the merged result: absent fields keep their Table 1 values,
+// unknown fields are an error, and a decoded set that fails Validate is
+// rejected here rather than mid-experiment. This is the `-params file`
+// path of cmd/sweepsim and cmd/sweepexp.
+func FromJSON(data []byte) (Params, error) {
+	p := Default()
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Params{}, fmt.Errorf("config: decode params: %w", err)
+	}
+	// Trailing garbage after the object is malformed input, not silence.
+	if dec.More() {
+		return Params{}, fmt.Errorf("config: trailing data after params object")
+	}
+	if err := p.Validate(); err != nil {
+		return Params{}, err
+	}
+	return p, nil
+}
+
+// Fingerprint returns a short stable content hash over every field of p.
+// Two parameter sets share a fingerprint exactly when every field matches
+// bit for bit (Go renders floats in shortest round-trip form), which is
+// what keys journalled experiment cells to their configuration.
+func (p Params) Fingerprint() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%#v", p)))
+	return hex.EncodeToString(h[:16])
 }

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/arch"
@@ -46,19 +47,39 @@ func Run(build Builder, kind arch.Kind, p config.Params, src trace.Source) (*sim
 // RunTraced is Run with a telemetry tracer attached to the engine and the
 // scheme; a nil tracer is the untraced fast path.
 func RunTraced(build Builder, kind arch.Kind, p config.Params, src trace.Source, tr *telemetry.Tracer) (*sim.Result, error) {
+	return RunTracedCtx(context.Background(), build, kind, p, src, tr)
+}
+
+// RunTracedCtx is RunTraced under a cancellation context: the engine polls
+// ctx at epoch boundaries and aborts with an error wrapping ctx.Err().
+func RunTracedCtx(ctx context.Context, build Builder, kind arch.Kind, p config.Params, src trace.Source, tr *telemetry.Tracer) (*sim.Result, error) {
 	cres, err := Compile(build, kind, p)
 	if err != nil {
 		return nil, fmt.Errorf("core: compile for %v: %w", kind, err)
 	}
-	return RunCompiled(cres, kind, p, src, tr)
+	return RunCompiledCtx(ctx, cres, kind, p, src, tr)
 }
 
 // RunCompiled executes an already-compiled binary on a fresh machine of
 // the given kind. The compiled result is only read, so one compilation —
 // typically out of SharedCompileCache — can back many concurrent runs.
 func RunCompiled(cres *compiler.Result, kind arch.Kind, p config.Params, src trace.Source, tr *telemetry.Tracer) (*sim.Result, error) {
+	return RunCompiledCtx(context.Background(), cres, kind, p, src, tr)
+}
+
+// RunCompiledCtx is RunCompiled under a cancellation context. Params are
+// validated before the machine is constructed, so malformed inputs surface
+// as descriptive errors here rather than panics inside arch.New.
+func RunCompiledCtx(ctx context.Context, cres *compiler.Result, kind arch.Kind, p config.Params, src trace.Source, tr *telemetry.Tracer) (*sim.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("core: params for %v: %w", kind, err)
+	}
 	scheme := arch.New(kind, p)
-	res, err := sim.Run(cres.Linked, scheme, sim.Options{Source: src, Tracer: tr})
+	opt := sim.Options{Source: src, Tracer: tr}
+	if ctx != context.Background() {
+		opt.Ctx = ctx
+	}
+	res, err := sim.Run(cres.Linked, scheme, opt)
 	if err != nil {
 		return res, fmt.Errorf("core: run %v: %w", kind, err)
 	}

@@ -1,0 +1,339 @@
+// Package journal makes experiment matrices crash-safe: every completed
+// (workload, scheme, supply, params) cell is appended to a durable JSONL
+// journal as soon as it finishes, and a restarted run consults the journal
+// first and skips every already-proven cell. A process kill, OOM, panic or
+// Ctrl-C therefore loses at most the cells that were in flight — resume is
+// a plain re-run with the same journal path.
+//
+// Entries are keyed by a content hash of the full cell identity (workload,
+// scale, scheme, trace profile, seed, a fingerprint of every simulation
+// parameter, and the engine revision), so a journal can never serve a
+// result produced under a different configuration or model version.
+// Records round-trip the simulation result exactly — encoding/json renders
+// float64 in shortest round-trip form, so a reloaded cell is bit-identical
+// to the freshly simulated one; the resume tests in internal/exp prove the
+// digests match across an interruption.
+//
+// The file format is deliberately forgiving: a line that fails to parse,
+// fails its key check, or fails its digest check (a crash mid-append, a
+// truncated disk, bit rot) is counted and skipped, and the cell simply
+// re-runs. The journal never makes a run fail that would have succeeded
+// without one.
+package journal
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/cpu"
+	"repro/internal/energy"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// FormatVersion is the journal line format revision; lines with any other
+// version are skipped (counted as corrupt) rather than misread.
+const FormatVersion = 1
+
+// Cell identifies one experiment-matrix cell completely: everything that
+// can change the simulated result is part of the key.
+type Cell struct {
+	Workload string `json:"workload"`
+	Scale    int    `json:"scale"`
+	Scheme   string `json:"scheme"`
+	// Profile is the trace profile name, or "outage-free" for an ideal
+	// supply.
+	Profile string `json:"profile"`
+	Seed    int64  `json:"seed"`
+	// ParamsFP is config.Params.Fingerprint() — a content hash over every
+	// simulation parameter.
+	ParamsFP string `json:"params_fp"`
+	// Engine is sim.EngineVersion at record time; a model change
+	// invalidates every prior entry.
+	Engine string `json:"engine"`
+}
+
+// Key returns the cell's content-hash key.
+func (c Cell) Key() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s\x00%d\x00%s\x00%s\x00%d\x00%s\x00%s",
+		c.Workload, c.Scale, c.Scheme, c.Profile, c.Seed, c.ParamsFP, c.Engine)))
+	return hex.EncodeToString(h[:])
+}
+
+// Record is the durable form of a sim.Result. Every observable field is
+// kept except the final NVM image, which is replaced by its content hash
+// (NVMHash): the image exists for differential consistency checks during
+// the run, while the hash is what result digests and golden tests pin.
+type Record struct {
+	Scheme string `json:"scheme"`
+	Halted bool   `json:"halted"`
+
+	TimeNs    int64  `json:"time_ns"`
+	RunNs     int64  `json:"run_ns"`
+	ChargeNs  int64  `json:"charge_ns"`
+	RestoreNs int64  `json:"restore_ns"`
+	Outages   uint64 `json:"outages"`
+
+	Counts cpu.Counts    `json:"counts"`
+	Ledger energy.Ledger `json:"ledger"`
+	Arch   archRecord    `json:"arch"`
+
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheMisses    uint64 `json:"cache_misses"`
+	DirtyEvictions uint64 `json:"dirty_evictions"`
+
+	NVMReads      uint64 `json:"nvm_reads"`
+	NVMWrites     uint64 `json:"nvm_writes"`
+	NVMLineReads  uint64 `json:"nvm_line_reads"`
+	NVMLineWrites uint64 `json:"nvm_line_writes"`
+
+	RegionSizes *stats.Hist `json:"region_sizes,omitempty"`
+
+	// NVMHash is the hex SHA-256 of the final NVM image ("" when the
+	// result carried no image).
+	NVMHash string `json:"nvm_hash,omitempty"`
+}
+
+// archRecord mirrors arch.Stats field for field with JSON tags.
+type archRecord struct {
+	TpNs            int64       `json:"tp_ns"`
+	TwaitNs         int64       `json:"twait_ns"`
+	RegionsExecuted uint64      `json:"regions"`
+	StoresPerRegion *stats.Hist `json:"stores_per_region,omitempty"`
+	BufferSearches  uint64      `json:"buffer_searches"`
+	BufferBypasses  uint64      `json:"buffer_bypasses"`
+	BufferHits      uint64      `json:"buffer_hits"`
+	WAWStallNs      int64       `json:"waw_stall_ns"`
+	FenceStallNs    int64       `json:"fence_stall_ns"`
+	ClwbStallNs     int64       `json:"clwb_stall_ns"`
+	BackupEvents    uint64      `json:"backups"`
+	RestoreEvents   uint64      `json:"restores"`
+	LinesBackedUp   uint64      `json:"lines_backed_up"`
+	ReplayedStores  uint64      `json:"replayed_stores"`
+	RedoneDrains    uint64      `json:"redone_drains"`
+}
+
+// FromResult converts a simulation result into its durable record.
+func FromResult(r *sim.Result) *Record {
+	rec := &Record{
+		Scheme: r.Scheme, Halted: r.Halted,
+		TimeNs: r.TimeNs, RunNs: r.RunNs, ChargeNs: r.ChargeNs,
+		RestoreNs: r.RestoreNs, Outages: r.Outages,
+		Counts: r.Counts, Ledger: r.Ledger,
+		Arch: archRecord{
+			TpNs: r.Arch.TpNs, TwaitNs: r.Arch.TwaitNs,
+			RegionsExecuted: r.Arch.RegionsExecuted,
+			StoresPerRegion: r.Arch.StoresPerRegion,
+			BufferSearches:  r.Arch.BufferSearches,
+			BufferBypasses:  r.Arch.BufferBypasses,
+			BufferHits:      r.Arch.BufferHits,
+			WAWStallNs:      r.Arch.WAWStallNs,
+			FenceStallNs:    r.Arch.FenceStallNs,
+			ClwbStallNs:     r.Arch.ClwbStallNs,
+			BackupEvents:    r.Arch.BackupEvents,
+			RestoreEvents:   r.Arch.RestoreEvents,
+			LinesBackedUp:   r.Arch.LinesBackedUp,
+			ReplayedStores:  r.Arch.ReplayedStores,
+			RedoneDrains:    r.Arch.RedoneDrains,
+		},
+		CacheHits: r.CacheHits, CacheMisses: r.CacheMisses,
+		DirtyEvictions: r.DirtyEvictions,
+		NVMReads:       r.NVMReads, NVMWrites: r.NVMWrites,
+		NVMLineReads: r.NVMLineReads, NVMLineWrites: r.NVMLineWrites,
+		RegionSizes: r.RegionSizes,
+	}
+	if r.NVM != nil {
+		h := r.NVM.ContentHash()
+		rec.NVMHash = hex.EncodeToString(h[:])
+	}
+	return rec
+}
+
+// Result reconstructs the sim.Result. The NVM field is nil — the image is
+// not journalled, only its hash — so reconstructed results serve every
+// figure and aggregate but not differential memory-image checks.
+func (rec *Record) Result() *sim.Result {
+	return &sim.Result{
+		Scheme: rec.Scheme, Halted: rec.Halted,
+		TimeNs: rec.TimeNs, RunNs: rec.RunNs, ChargeNs: rec.ChargeNs,
+		RestoreNs: rec.RestoreNs, Outages: rec.Outages,
+		Counts: rec.Counts, Ledger: rec.Ledger,
+		Arch: arch.Stats{
+			TpNs: rec.Arch.TpNs, TwaitNs: rec.Arch.TwaitNs,
+			RegionsExecuted: rec.Arch.RegionsExecuted,
+			StoresPerRegion: rec.Arch.StoresPerRegion,
+			BufferSearches:  rec.Arch.BufferSearches,
+			BufferBypasses:  rec.Arch.BufferBypasses,
+			BufferHits:      rec.Arch.BufferHits,
+			WAWStallNs:      rec.Arch.WAWStallNs,
+			FenceStallNs:    rec.Arch.FenceStallNs,
+			ClwbStallNs:     rec.Arch.ClwbStallNs,
+			BackupEvents:    rec.Arch.BackupEvents,
+			RestoreEvents:   rec.Arch.RestoreEvents,
+			LinesBackedUp:   rec.Arch.LinesBackedUp,
+			ReplayedStores:  rec.Arch.ReplayedStores,
+			RedoneDrains:    rec.Arch.RedoneDrains,
+		},
+		CacheHits: rec.CacheHits, CacheMisses: rec.CacheMisses,
+		DirtyEvictions: rec.DirtyEvictions,
+		NVMReads:       rec.NVMReads, NVMWrites: rec.NVMWrites,
+		NVMLineReads: rec.NVMLineReads, NVMLineWrites: rec.NVMLineWrites,
+		RegionSizes: rec.RegionSizes,
+	}
+}
+
+// Digest returns the hex SHA-256 of the record's canonical JSON encoding.
+// Because float64 JSON round-trips exactly, a record written, reloaded,
+// and re-digested hashes identically — the property the kill/resume
+// invariant tests pin.
+func (rec *Record) Digest() string {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		// Record holds only finite numbers and plain structs; Marshal
+		// cannot fail on a value FromResult built.
+		panic("journal: marshal record: " + err.Error())
+	}
+	h := sha256.Sum256(raw)
+	return hex.EncodeToString(h[:])
+}
+
+// line is one journal line on disk.
+type line struct {
+	Format int     `json:"format"`
+	Key    string  `json:"key"`
+	Cell   Cell    `json:"cell"`
+	Digest string  `json:"digest"`
+	Record *Record `json:"record"`
+}
+
+// Stats counts what the journal has seen.
+type Stats struct {
+	Loaded  int // valid entries recovered at Open
+	Corrupt int // lines skipped at Open (parse, key, or digest failure)
+	Hits    int // Lookup calls that returned a record
+	Appends int // entries appended this session
+}
+
+// Journal is an open cell journal: an in-memory index over an append-only
+// file. Safe for concurrent use.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	entries map[string]*Record
+	stats   Stats
+	// Fsync forces a Sync after every append (the default): an entry is
+	// durable against power loss, not just process death, before the cell
+	// is reported complete. Tests may disable it for speed.
+	Fsync bool
+}
+
+// Open reads (or creates) the journal at path and indexes its valid
+// entries. Corrupt or truncated lines — a crash mid-append leaves at most
+// one — are skipped and counted, never fatal.
+func Open(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	j := &Journal{f: f, entries: map[string]*Record{}, Fsync: true}
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	for sc.Scan() {
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var l line
+		if err := json.Unmarshal([]byte(raw), &l); err != nil ||
+			l.Format != FormatVersion || l.Record == nil {
+			j.stats.Corrupt++
+			continue
+		}
+		// Integrity: the key must re-derive from the cell, and the digest
+		// from the record, or the line has been tampered with / bit-rotted.
+		if l.Cell.Key() != l.Key || l.Record.Digest() != l.Digest {
+			j.stats.Corrupt++
+			continue
+		}
+		j.entries[l.Key] = l.Record
+		j.stats.Loaded++
+	}
+	if err := sc.Err(); err != nil {
+		// An unreadable tail (e.g. a line beyond the buffer cap) degrades
+		// to "those cells re-run", same as corruption.
+		j.stats.Corrupt++
+	}
+	// Position at end for appends (O_APPEND semantics without the flag, so
+	// the scanner above could read from the start).
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: seek %s: %w", path, err)
+	}
+	return j, nil
+}
+
+// Lookup returns the journalled record for the cell, if one exists.
+func (j *Journal) Lookup(c Cell) (*Record, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec, ok := j.entries[c.Key()]
+	if ok {
+		j.stats.Hits++
+	}
+	return rec, ok
+}
+
+// Append journals one completed cell durably: the line is written and (by
+// default) fsynced before Append returns, so a kill immediately after
+// cannot lose it.
+func (j *Journal) Append(c Cell, rec *Record) error {
+	l := line{Format: FormatVersion, Key: c.Key(), Cell: c, Digest: rec.Digest(), Record: rec}
+	raw, err := json.Marshal(&l)
+	if err != nil {
+		return fmt.Errorf("journal: marshal entry: %w", err)
+	}
+	raw = append(raw, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(raw); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if j.Fsync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: sync: %w", err)
+		}
+	}
+	j.entries[l.Key] = rec
+	j.stats.Appends++
+	return nil
+}
+
+// Len returns the number of distinct cells currently proven.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Stats returns a snapshot of the journal's counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stats
+}
+
+// Close releases the underlying file. The journal stays readable in
+// memory but further Appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

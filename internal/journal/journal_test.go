@@ -1,0 +1,209 @@
+package journal_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/journal"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// result runs one real quick simulation so the records under test carry
+// genuine float ledgers and histograms, not synthetic round numbers.
+func result(t *testing.T) *sim.Result {
+	t.Helper()
+	w, err := workloads.ByName("sha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func() *ir.Program { return w.Build(1) }
+	res, err := core.Run(build, arch.SweepEmptyBit, config.Default(), trace.New(trace.RFHome, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func testCell(n string) journal.Cell {
+	return journal.Cell{
+		Workload: n, Scale: 1, Scheme: "sweep-eb", Profile: "RFHome",
+		Seed: 1, ParamsFP: "deadbeefdeadbeefdeadbeefdeadbeef", Engine: sim.EngineVersion,
+	}
+}
+
+// TestRecordRoundTripExact is the property the kill/resume invariant
+// rests on: a record written to disk, reloaded, and re-digested hashes
+// identically to the fresh one — encoding/json renders float64 in
+// shortest round-trip form, so nothing drifts.
+func TestRecordRoundTripExact(t *testing.T) {
+	res := result(t)
+	rec := journal.FromResult(res)
+	want := rec.Digest()
+
+	path := filepath.Join(t.TempDir(), "cells.jsonl")
+	j, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Fsync = false
+	if err := j.Append(testCell("sha"), rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if st := j2.Stats(); st.Loaded != 1 || st.Corrupt != 0 {
+		t.Fatalf("reload stats = %+v, want 1 loaded 0 corrupt", st)
+	}
+	got, ok := j2.Lookup(testCell("sha"))
+	if !ok {
+		t.Fatal("reloaded journal misses the cell")
+	}
+	if d := got.Digest(); d != want {
+		t.Errorf("digest drift across write/reload:\n fresh    %s\n reloaded %s", want, d)
+	}
+	ra, _ := json.Marshal(rec)
+	rb, _ := json.Marshal(got)
+	if !bytes.Equal(ra, rb) {
+		t.Error("reloaded record is not byte-identical to the fresh one")
+	}
+
+	// The reconstructed result serves the figures: timing, energy, and
+	// every counter must match (only the NVM image is hash-only).
+	back := got.Result()
+	if back.TimeNs != res.TimeNs || back.Outages != res.Outages ||
+		back.Counts != res.Counts || back.Ledger != res.Ledger {
+		t.Error("reconstructed result diverges from the original")
+	}
+	if back.NVM != nil {
+		t.Error("reconstructed result must not claim an NVM image")
+	}
+}
+
+// TestLookupIsolation pins that a journal never serves a record across a
+// configuration change: any identity field difference is a miss.
+func TestLookupIsolation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cells.jsonl")
+	j, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	j.Fsync = false
+	if err := j.Append(testCell("sha"), journal.FromResult(result(t))); err != nil {
+		t.Fatal(err)
+	}
+	muts := map[string]func(*journal.Cell){
+		"workload": func(c *journal.Cell) { c.Workload = "fft" },
+		"scale":    func(c *journal.Cell) { c.Scale = 2 },
+		"scheme":   func(c *journal.Cell) { c.Scheme = "nvp" },
+		"profile":  func(c *journal.Cell) { c.Profile = "outage-free" },
+		"seed":     func(c *journal.Cell) { c.Seed = 2 },
+		"params":   func(c *journal.Cell) { c.ParamsFP = "0123456789abcdef0123456789abcdef" },
+		"engine":   func(c *journal.Cell) { c.Engine = "engine-v0" },
+	}
+	for name, mut := range muts {
+		c := testCell("sha")
+		mut(&c)
+		if _, ok := j.Lookup(c); ok {
+			t.Errorf("journal served a record across a %s change", name)
+		}
+	}
+}
+
+// TestOpenTolerance damages a journal the ways a crash does — a torn
+// final line, a flipped byte, foreign garbage — and requires Open to
+// recover every intact entry while counting the rest.
+func TestOpenTolerance(t *testing.T) {
+	rec := journal.FromResult(result(t))
+	path := filepath.Join(t.TempDir(), "cells.jsonl")
+	j, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Fsync = false
+	for _, n := range []string{"a", "b", "c"} {
+		if err := j.Append(testCell(n), rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(raw, []byte("\n"))
+
+	t.Run("torn tail", func(t *testing.T) {
+		p := filepath.Join(t.TempDir(), "j.jsonl")
+		damaged := append(append([]byte{}, raw...), lines[0][:40]...) // mid-append crash
+		os.WriteFile(p, damaged, 0o644)
+		j, err := journal.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer j.Close()
+		if st := j.Stats(); st.Loaded != 3 || st.Corrupt != 1 {
+			t.Errorf("stats = %+v, want 3 loaded 1 corrupt", st)
+		}
+	})
+
+	t.Run("flipped byte", func(t *testing.T) {
+		p := filepath.Join(t.TempDir(), "j.jsonl")
+		damaged := append([]byte{}, raw...)
+		damaged[len(lines[0])+len(lines[1])/2] ^= 0x20 // inside line 2
+		os.WriteFile(p, damaged, 0o644)
+		j, err := journal.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer j.Close()
+		st := j.Stats()
+		if st.Loaded+st.Corrupt != 3 || st.Loaded < 2 {
+			t.Errorf("stats = %+v, want the 2 intact lines recovered", st)
+		}
+	})
+
+	t.Run("foreign garbage then append", func(t *testing.T) {
+		p := filepath.Join(t.TempDir(), "j.jsonl")
+		os.WriteFile(p, append([]byte("not json at all\n{\"format\":99}\n"), lines[0]...), 0o644)
+		j, err := journal.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.Fsync = false
+		if st := j.Stats(); st.Loaded != 1 || st.Corrupt != 2 {
+			t.Errorf("stats = %+v, want 1 loaded 2 corrupt", st)
+		}
+		// The journal stays appendable after a tolerant open, and a clean
+		// reopen sees both the surviving and the new entry.
+		if err := j.Append(testCell("d"), rec); err != nil {
+			t.Fatal(err)
+		}
+		j.Close()
+		j2, err := journal.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer j2.Close()
+		if j2.Len() != 2 {
+			t.Errorf("after damage + append: %d entries, want 2", j2.Len())
+		}
+	})
+}

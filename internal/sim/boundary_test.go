@@ -7,6 +7,7 @@ package sim
 // whose energy window cannot cover any work.
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -90,6 +91,20 @@ func TestZeroProgressGuard(t *testing.T) {
 		})
 		if err == nil || !strings.Contains(err.Error(), "no forward progress") {
 			t.Errorf("precise=%v: err = %v, want forward-progress guard", precise, err)
+			continue
+		}
+		// The guard is a typed error: errors.Is matches the sentinel and
+		// errors.As recovers the scheme/cycle context.
+		if !errors.Is(err, ErrNoProgress) {
+			t.Errorf("precise=%v: errors.Is(err, ErrNoProgress) = false for %v", precise, err)
+		}
+		var npe *NoProgressError
+		if !errors.As(err, &npe) {
+			t.Errorf("precise=%v: errors.As(*NoProgressError) = false for %v", precise, err)
+		} else {
+			if npe.Scheme == "" || npe.Outages == 0 {
+				t.Errorf("precise=%v: NoProgressError missing context: %+v", precise, npe)
+			}
 		}
 	}
 }

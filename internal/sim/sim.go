@@ -15,6 +15,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -33,11 +34,21 @@ import (
 	"repro/internal/trace"
 )
 
+// EngineVersion names the engine's result-affecting revision. Journal
+// entries (internal/journal) record it so cached cell results are never
+// reused across model changes: bump it whenever the golden digests
+// (TestFastPathGolden) are deliberately regenerated.
+const EngineVersion = "engine-v3-fastpath"
+
 // Options configures one run.
 type Options struct {
 	// Source is the power trace; nil runs outage-free with an ideal
 	// supply (the Figure 5 configuration).
 	Source trace.Source
+	// Ctx, when non-nil, cancels the run: the engine polls it at epoch
+	// boundaries (never inside the per-instruction hot loop) and returns
+	// a *CanceledError wrapping Ctx.Err(). nil runs to completion.
+	Ctx context.Context
 	// MaxInstructions aborts runaway executions. 0 means 2e9.
 	MaxInstructions uint64
 	// StagnationNs bounds one recharge wait. 0 means 60 s.
@@ -226,6 +237,59 @@ var debugOutages = os.Getenv("SIM_DEBUG") != ""
 // capacitor to the restore threshold.
 var ErrStagnation = errors.New("sim: stagnation — power source cannot recharge the capacitor")
 
+// ErrNoProgress is the sentinel behind NoProgressError: a configuration
+// whose per-cycle energy window cannot cover even one instruction plus its
+// own backup/restore costs would power-cycle forever. errors.Is against
+// this sentinel matches; errors.As against *NoProgressError recovers the
+// scheme/cycle context.
+var ErrNoProgress = errors.New("sim: no forward progress")
+
+// NoProgressError carries the context of a tripped forward-progress guard.
+type NoProgressError struct {
+	Scheme   string
+	Outages  uint64 // power cycles completed when the guard tripped
+	Executed uint64 // instructions retired in total
+	NowNs    int64  // simulated clock at the trip
+}
+
+func (e *NoProgressError) Error() string {
+	return fmt.Sprintf("%v on %s: outage %d at %.3f ms with %d instructions retired — energy window too small for its backup/restore costs",
+		ErrNoProgress, e.Scheme, e.Outages, float64(e.NowNs)/1e6, e.Executed)
+}
+
+func (e *NoProgressError) Unwrap() error { return ErrNoProgress }
+
+// CanceledError reports a run interrupted through Options.Ctx. It wraps
+// the context's error, so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) both work.
+type CanceledError struct {
+	Scheme   string
+	Executed uint64 // instructions retired before the interruption
+	NowNs    int64  // simulated clock at the interruption
+	Err      error  // the context's error
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("sim: run canceled on %s at %.3f ms after %d instructions: %v",
+		e.Scheme, float64(e.NowNs)/1e6, e.Executed, e.Err)
+}
+
+func (e *CanceledError) Unwrap() error { return e.Err }
+
+// cancelPollInterval is how many engine-loop iterations (epochs, precise
+// steps, or traced instructions) elapse between context polls. The poll is
+// a single counter decrement on the common path, so cancellation support
+// costs nothing measurable; the interval bounds cancellation latency to a
+// few thousand instructions of simulated work.
+const cancelPollInterval = 1024
+
+// cancelChunkInstrs bounds one fused RunUntraced call when a context is
+// attached: plain binaries (NVP) have no region delimiters, so without a
+// chunk bound a single call could run the whole program and never observe
+// the cancellation. The chunk is large enough that the extra call overhead
+// vanishes (one call per ~1M instructions).
+const cancelChunkInstrs = 1 << 20
+
 // InitNVM loads the program's data image and recovery PC slot into the
 // scheme's NVM.
 func InitNVM(s arch.Scheme, l *ir.Linked) {
@@ -301,11 +365,48 @@ type runner struct {
 	// draw) would power-cycle forever.
 	lastOutageExec uint64
 	zeroProgress   int
+
+	// ctx, when non-nil, cancels the run; cancelCountdown rate-limits the
+	// Err() poll to one per cancelPollInterval loop iterations.
+	ctx             context.Context
+	cancelCountdown int
+}
+
+// pollCancel is the engine loops' cancellation check: a counter decrement
+// on the common path, a context poll every cancelPollInterval calls.
+func (r *runner) pollCancel() error {
+	if r.ctx == nil {
+		return nil
+	}
+	if r.cancelCountdown--; r.cancelCountdown > 0 {
+		return nil
+	}
+	r.cancelCountdown = cancelPollInterval
+	return r.checkCancel()
+}
+
+// checkCancel polls the context unconditionally.
+func (r *runner) checkCancel() error {
+	if r.ctx == nil {
+		return nil
+	}
+	if err := r.ctx.Err(); err != nil {
+		return &CanceledError{Scheme: r.s.Name(), Executed: r.core.Counts.Executed, NowNs: r.now, Err: err}
+	}
+	return nil
 }
 
 // Run executes the linked program on the scheme until it halts.
 func Run(l *ir.Linked, s arch.Scheme, opt Options) (*Result, error) {
 	p := s.Params()
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: invalid params for %s: %w", s.Name(), err)
+	}
+	if opt.Source != nil && s.JIT() {
+		if err := p.ValidateJIT(); err != nil {
+			return nil, fmt.Errorf("sim: invalid params for %s: %w", s.Name(), err)
+		}
+	}
 	if opt.MaxInstructions == 0 {
 		opt.MaxInstructions = 2_000_000_000
 	}
@@ -327,16 +428,16 @@ func Run(l *ir.Linked, s arch.Scheme, opt Options) (*Result, error) {
 	s.Boot(int64(l.EntryPC))
 
 	r := &runner{
-		l:      l,
-		s:      s,
-		ms:     s,
-		opt:    opt,
-		p:      p,
-		core:   core,
-		led:    s.Ledger(),
-		cap:    energy.NewCapacitor(p.CapacitorF, p.Vmax, p.Vmax),
-		tr:     opt.Tracer,
-		res:    &Result{Scheme: s.Name(), RegionSizes: stats.NewHist(opt.RegionHistMax)},
+		l:         l,
+		s:         s,
+		ms:        s,
+		opt:       opt,
+		p:         p,
+		core:      core,
+		led:       s.Ledger(),
+		cap:       energy.NewCapacitor(p.CapacitorF, p.Vmax, p.Vmax),
+		tr:        opt.Tracer,
+		res:       &Result{Scheme: s.Name(), RegionSizes: stats.NewHist(opt.RegionHistMax)},
 		timing:    cpu.StepTiming{CycleNs: p.CycleNs, MulCycles: p.MulCycles, DivCycles: p.DivCycles},
 		armed:     true,
 		fetchFree: fetchFree,
@@ -348,6 +449,14 @@ func Run(l *ir.Linked, s arch.Scheme, opt Options) (*Result, error) {
 	}
 	if opt.Source != nil {
 		r.cursor = trace.NewCursor(opt.Source)
+	}
+	if opt.Ctx != nil {
+		r.ctx = opt.Ctx
+		r.cancelCountdown = cancelPollInterval
+		// A run that is already canceled does no work at all.
+		if err := r.checkCancel(); err != nil {
+			return r.res, err
+		}
 	}
 
 	var err error
@@ -394,7 +503,12 @@ func (r *runner) powerCycle() error {
 	if core.Counts.Executed == r.lastOutageExec {
 		r.zeroProgress++
 		if r.zeroProgress > 256 {
-			return fmt.Errorf("sim: no forward progress on %s — energy window too small for its backup/restore costs", s.Name())
+			return &NoProgressError{
+				Scheme:   s.Name(),
+				Outages:  res.Outages,
+				Executed: core.Counts.Executed,
+				NowNs:    r.now,
+			}
 		}
 	} else {
 		r.zeroProgress = 0
@@ -540,6 +654,9 @@ func (r *runner) runPrecise() error {
 		if r.core.Counts.Executed >= r.opt.MaxInstructions {
 			return r.budgetErr()
 		}
+		if err := r.pollCancel(); err != nil {
+			return err
+		}
 		if r.cursor != nil {
 			handled, err := r.preInstrEvents()
 			if err != nil {
@@ -583,10 +700,24 @@ func (r *runner) runOutageFree() error {
 	if tr == nil {
 		// No tracer: the fused interpreter loop retires whole regions per
 		// call, with the identical per-instruction ledger arithmetic (the
-		// traced-versus-untraced matrix test pins the equivalence).
+		// traced-versus-untraced matrix test pins the equivalence). With a
+		// context attached, each call is additionally capped at
+		// cancelChunkInstrs so delimiter-free binaries still observe
+		// cancellation; the chunk boundary only changes where the outer
+		// loop re-enters, never any retired state.
 		for !core.Halted {
+			lim := max
+			if r.ctx != nil {
+				if c := core.Counts.Executed + cancelChunkInstrs; c < lim {
+					lim = c
+				}
+				if err := r.checkCancel(); err != nil {
+					r.now, r.res.RunNs, r.regionInstrs = now, runNs, ri
+					return err
+				}
+			}
 			ns, n, delim := core.RunUntraced(now, ms, timing,
-				r.eInstrByNs, r.p.EInstr, r.p.PRun, &led.Compute, max)
+				r.eInstrByNs, r.p.EInstr, r.p.PRun, &led.Compute, lim)
 			now += ns
 			runNs += ns
 			if delim {
@@ -595,7 +726,7 @@ func (r *runner) runOutageFree() error {
 				continue
 			}
 			ri += n
-			if !core.Halted {
+			if !core.Halted && core.Counts.Executed >= max {
 				break // instruction budget
 			}
 		}
@@ -603,6 +734,10 @@ func (r *runner) runOutageFree() error {
 		for !core.Halted {
 			if core.Counts.Executed >= max {
 				break
+			}
+			if err := r.pollCancel(); err != nil {
+				r.now, r.res.RunNs, r.regionInstrs = now, runNs, ri
+				return err
 			}
 			r.now = now
 			r.preStepEmit()
@@ -812,6 +947,9 @@ func (r *runner) runBatched() error {
 		if r.core.Counts.Executed >= r.opt.MaxInstructions {
 			return r.budgetErr()
 		}
+		if err := r.pollCancel(); err != nil {
+			return err
+		}
 		handled, err := r.preInstrEvents()
 		if err != nil {
 			return err
@@ -820,6 +958,12 @@ func (r *runner) runBatched() error {
 			continue
 		}
 		if budget := r.epochBudget(jit); budget > 0 {
+			// An epoch retires up to millions of instructions under one
+			// settlement; poll unconditionally so cancellation latency is
+			// bounded by one epoch, not cancelPollInterval of them.
+			if err := r.checkCancel(); err != nil {
+				return err
+			}
 			r.runEpoch(jit, budget)
 		} else {
 			r.stepPrecise()

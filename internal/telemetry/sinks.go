@@ -121,11 +121,71 @@ func WriteJSONL(w io.Writer, events []Event) error {
 	return s.Close()
 }
 
+// parseJSONLEvent decodes one JSONL line into an Event.
+func parseJSONLEvent(line []byte) (Event, error) {
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(line, &fields); err != nil {
+		return Event{}, err
+	}
+	var name string
+	if err := json.Unmarshal(fields["ev"], &name); err != nil {
+		return Event{}, fmt.Errorf("missing ev: %w", err)
+	}
+	kind := KindByName(name)
+	if kind == EvNone {
+		return Event{}, fmt.Errorf("unknown event %q", name)
+	}
+	e := Event{Kind: kind}
+	spec := &kindSpecs[kind]
+	getInt := func(name string, dst *int64) error {
+		if name == "" {
+			return nil
+		}
+		if msg, ok := fields[name]; ok {
+			return json.Unmarshal(msg, dst)
+		}
+		return nil
+	}
+	if err := getInt("ns", &e.Now); err != nil {
+		return Event{}, err
+	}
+	if err := getInt(spec.a, &e.A); err != nil {
+		return Event{}, err
+	}
+	if err := getInt(spec.b, &e.B); err != nil {
+		return Event{}, err
+	}
+	if err := getInt(spec.c, &e.C); err != nil {
+		return Event{}, err
+	}
+	if spec.f != "" {
+		if msg, ok := fields[spec.f]; ok {
+			if err := json.Unmarshal(msg, &e.F); err != nil {
+				return Event{}, err
+			}
+		}
+	}
+	return e, nil
+}
+
 // ReadJSONL parses a JSONL event stream back into events — the inverse
 // of the JSONL sink, used by cmd/sweeptrace. Unknown event names are an
 // error so schema drift is caught loudly.
 func ReadJSONL(r io.Reader) ([]Event, error) {
+	events, _, err := readJSONL(r, true)
+	return events, err
+}
+
+// ReadJSONLTolerant is ReadJSONL for streams that may end (or be damaged)
+// mid-line — the normal state of a trace whose recorder was killed. Bad
+// lines are skipped and counted instead of failing the whole read.
+func ReadJSONLTolerant(r io.Reader) (events []Event, skipped int, err error) {
+	return readJSONL(r, false)
+}
+
+func readJSONL(r io.Reader, strict bool) ([]Event, int, error) {
 	var out []Event
+	skipped := 0
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	lineNo := 0
@@ -135,54 +195,15 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 		if len(line) == 0 {
 			continue
 		}
-		var raw struct {
-			Ev string  `json:"ev"`
-			Ns int64   `json:"ns"`
-			A  *int64  `json:"-"`
-			F  float64 `json:"-"`
-		}
-		var fields map[string]json.RawMessage
-		if err := json.Unmarshal(line, &fields); err != nil {
-			return nil, fmt.Errorf("telemetry: line %d: %w", lineNo, err)
-		}
-		if err := json.Unmarshal(fields["ev"], &raw.Ev); err != nil {
-			return nil, fmt.Errorf("telemetry: line %d: missing ev: %w", lineNo, err)
-		}
-		kind := KindByName(raw.Ev)
-		if kind == EvNone {
-			return nil, fmt.Errorf("telemetry: line %d: unknown event %q", lineNo, raw.Ev)
-		}
-		e := Event{Kind: kind}
-		spec := &kindSpecs[kind]
-		getInt := func(name string, dst *int64) error {
-			if name == "" {
-				return nil
+		e, err := parseJSONLEvent(line)
+		if err != nil {
+			if strict {
+				return nil, 0, fmt.Errorf("telemetry: line %d: %w", lineNo, err)
 			}
-			if msg, ok := fields[name]; ok {
-				return json.Unmarshal(msg, dst)
-			}
-			return nil
-		}
-		if err := getInt("ns", &e.Now); err != nil {
-			return nil, fmt.Errorf("telemetry: line %d: %w", lineNo, err)
-		}
-		if err := getInt(spec.a, &e.A); err != nil {
-			return nil, fmt.Errorf("telemetry: line %d: %w", lineNo, err)
-		}
-		if err := getInt(spec.b, &e.B); err != nil {
-			return nil, fmt.Errorf("telemetry: line %d: %w", lineNo, err)
-		}
-		if err := getInt(spec.c, &e.C); err != nil {
-			return nil, fmt.Errorf("telemetry: line %d: %w", lineNo, err)
-		}
-		if spec.f != "" {
-			if msg, ok := fields[spec.f]; ok {
-				if err := json.Unmarshal(msg, &e.F); err != nil {
-					return nil, fmt.Errorf("telemetry: line %d: %w", lineNo, err)
-				}
-			}
+			skipped++
+			continue
 		}
 		out = append(out, e)
 	}
-	return out, sc.Err()
+	return out, skipped, sc.Err()
 }
