@@ -23,10 +23,17 @@ bench:
 # benchmarks run as a second pass with the default benchtime — they are
 # nanosecond-scale, so 3 iterations would be pure noise.
 bench-json:
-	{ $(GO) test -run '^$$' -bench 'BenchmarkEngineStep|BenchmarkRunOutageFree|BenchmarkRunRFHome|BenchmarkFig5OutageFree|BenchmarkFig6RFHome' -benchtime 3x . ; \
+	{ $(GO) test -run '^$$' -bench 'BenchmarkEngineStep|BenchmarkRunOutageFree|BenchmarkRunRFHome' . ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkFig5OutageFree|BenchmarkFig6RFHome' -benchtime 3x . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkCacheProbe|BenchmarkCacheDirtySweep|BenchmarkCacheInvalidate|BenchmarkBufferSearch' . ; } \
 		| $(GO) run ./cmd/benchjson -o BENCH_engine.json
 	@cat BENCH_engine.json
+
+# The regression gate: fresh engine benchmarks vs the committed
+# BENCH_engine.json baseline, failing on >15% sim-instrs/s loss.
+# WARN=1 downgrades failures to GitHub warning annotations (CI mode).
+bench-check:
+	./scripts/bench_check.sh $(if $(WARN),-warn-only)
 
 # Tracer overhead: disabled vs discard-sink vs JSONL-encoding runs.
 bench-telemetry:

@@ -7,89 +7,90 @@
 //	go test -run '^$' -bench BenchmarkEngine . | go run ./cmd/benchjson -o BENCH_engine.json
 //
 // Non-benchmark lines (goos/goarch/pkg headers, PASS/ok trailers) are
-// carried in the context block; every `BenchmarkX  N  v unit  v unit...`
-// line becomes one result entry with all its metrics.
+// carried in the context block, together with the attribution fields a
+// regression gate needs — git commit, sim.EngineVersion, GOMAXPROCS —
+// and every `BenchmarkX  N  v unit  v unit...` line becomes one result
+// entry with all its metrics. cmd/benchcheck diffs two such documents.
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"flag"
-	"fmt"
+	"log/slog"
 	"os"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
+
+	"repro/internal/benchfmt"
+	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
-// Result is one parsed benchmark line.
-type Result struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"`
-}
-
-// Doc is the emitted document.
-type Doc struct {
-	Context map[string]string `json:"context"`
-	Results []Result          `json:"results"`
-}
-
-func parseLine(line string) (Result, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return Result{}, false
-	}
-	n, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Result{}, false
-	}
-	r := Result{Name: fields[0], Iterations: n, Metrics: map[string]float64{}}
-	// Remaining fields come in (value, unit) pairs.
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			return Result{}, false
+// gitCommit resolves the current commit: the VCS stamp the go toolchain
+// embeds when it has one, else a direct `git rev-parse`, else "unknown"
+// (benchjson must keep working outside a checkout).
+func gitCommit() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, dirty string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "-dirty"
+				}
+			}
 		}
-		r.Metrics[fields[i+1]] = v
+		if rev != "" {
+			return rev + dirty
+		}
 	}
-	return r, true
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	logfmt := flag.String("logfmt", "text", "log format: text|json")
+	verbose := flag.Bool("v", false, "debug logging")
 	flag.Parse()
-
-	doc := Doc{Context: map[string]string{}, Results: []Result{}}
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		if r, ok := parseLine(line); ok {
-			doc.Results = append(doc.Results, r)
-			continue
-		}
-		// goos/goarch/pkg/cpu headers: "key: value".
-		if k, v, ok := strings.Cut(line, ":"); ok && !strings.Contains(k, " ") && v != "" {
-			doc.Context[strings.TrimSpace(k)] = strings.TrimSpace(v)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
-		os.Exit(1)
-	}
-
-	enc, err := json.MarshalIndent(doc, "", "  ")
+	log, err := obs.NewLogger(os.Stderr, *logfmt, *verbose)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson: encode:", err)
+		slog.Error("benchjson: bad -logfmt", "err", err)
+		os.Exit(2)
+	}
+
+	doc, err := benchfmt.Parse(os.Stdin)
+	if err != nil {
+		log.Error("read failed", "err", err)
 		os.Exit(1)
 	}
-	enc = append(enc, '\n')
+	// Attribution: make every archived entry answerable to "which code,
+	// which engine model, how many procs".
+	doc.Context["git-commit"] = gitCommit()
+	doc.Context["engine"] = sim.EngineVersion
+	doc.Context["gomaxprocs"] = strconv.Itoa(runtime.GOMAXPROCS(0))
+	log.Debug("parsed benchmarks",
+		"results", len(doc.Results), "commit", doc.Context["git-commit"],
+		"engine", doc.Context["engine"])
+
+	enc, err := doc.Encode()
+	if err != nil {
+		log.Error("encode failed", "err", err)
+		os.Exit(1)
+	}
 	if *out == "" {
 		os.Stdout.Write(enc)
 		return
 	}
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
+		log.Error("write failed", "path", *out, "err", err)
 		os.Exit(1)
 	}
 }

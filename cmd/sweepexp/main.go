@@ -6,6 +6,7 @@
 //	sweepexp -exp all             # everything (EXPERIMENTS.md source)
 //	sweepexp -exp fig7 -quick     # reduced workload subset
 //	sweepexp -exp all -journal run.jsonl   # crash-safe: kill and rerun to resume
+//	sweepexp -exp all -listen :8090        # live introspection while it runs
 //	sweepexp -list                # list experiment names
 //
 // Ctrl-C (or -timeout) cancels the run promptly: in-flight simulations
@@ -13,6 +14,12 @@
 // exits 130. With -journal, cells completed before the interruption are
 // durable and a rerun with the same flags resumes where it stopped,
 // producing byte-identical results (see docs/ROBUSTNESS.md).
+//
+// With -listen, a live control plane serves /metrics (Prometheus text),
+// /progress (per-cell states, cells/sec, ETA), /healthz, and /runinfo
+// while the campaign runs, and a watchdog logs cells running beyond 4×
+// the rolling p95 (see docs/OBSERVABILITY.md). Without the flag the
+// tracking hooks are nil no-ops and results are byte-identical.
 package main
 
 import (
@@ -21,15 +28,19 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"syscall"
+	"time"
 
 	"repro/internal/chaos"
 	"repro/internal/config"
 	"repro/internal/exp"
 	"repro/internal/journal"
+	"repro/internal/obs"
+	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
 
@@ -140,8 +151,21 @@ func main() {
 	cellTimeout := flag.Duration("celltimeout", 0, "per-cell wall-clock bound; an overrunning cell fails while the rest complete (0 = none)")
 	journalPath := flag.String("journal", "", "append-only cell journal for crash-safe resume; rerun with the same flags to skip proven cells")
 	chaosSpec := flag.String("chaos", "", "fault-injection spec, e.g. 'seed=7,panic=0.05,cancel=12,delay=5ms' (testing only)")
+	listen := flag.String("listen", "", "serve live /metrics, /progress, /healthz, /runinfo on this address (e.g. :8090)")
+	logfmt := flag.String("logfmt", "text", "log format: text|json")
+	verbose := flag.Bool("v", false, "debug logging")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
+
+	log, err := obs.NewLogger(os.Stderr, *logfmt, *verbose)
+	if err != nil {
+		slog.Error("sweepexp: bad -logfmt", "err", err)
+		os.Exit(2)
+	}
+	fail := func(msg string, args ...any) {
+		log.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	if *list {
 		for _, e := range experiments {
@@ -153,8 +177,7 @@ func main() {
 	csvDir = *csv
 	if csvDir != "" {
 		if err := os.MkdirAll(csvDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "sweepexp: %v\n", err)
-			os.Exit(1)
+			fail("csv directory", "err", err)
 		}
 	}
 	ctx := exp.DefaultContext()
@@ -166,17 +189,17 @@ func main() {
 	if *paramsFile != "" {
 		raw, err := os.ReadFile(*paramsFile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sweepexp: %v\n", err)
-			os.Exit(1)
+			fail("params file unreadable", "path", *paramsFile, "err", err)
 		}
 		p, err := config.FromJSON(raw)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sweepexp: -params %s: %v\n", *paramsFile, err)
-			os.Exit(1)
+			fail("params file invalid", "path", *paramsFile, "err", err)
 		}
 		ctx.Params = p
 	}
-	if *metricsFile != "" {
+	// Metrics accumulate for an explicit -metrics file and for the live
+	// /metrics endpoint.
+	if *metricsFile != "" || *listen != "" {
 		ctx.Metrics = telemetry.NewSnapshot()
 	}
 
@@ -191,41 +214,63 @@ func main() {
 	}
 	ctx.Ctx = runCtx
 
+	info := obs.NewRunInfo("sweepexp", sim.EngineVersion)
+	info.Experiment = *name
+	info.ParamsFP = ctx.Params.Fingerprint()
+	info.Seed = *seed
+	info.Scale = *scale
+	info.Journal = *journalPath
+
 	if *journalPath != "" {
 		jn, err := journal.Open(*journalPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sweepexp: journal %s: %v\n", *journalPath, err)
-			os.Exit(1)
+			fail("journal open failed", "path", *journalPath, "err", err)
 		}
 		defer jn.Close()
-		if st := jn.Stats(); st.Loaded > 0 || st.Corrupt > 0 {
-			fmt.Fprintf(os.Stderr, "sweepexp: journal %s: %d cells loaded, %d corrupt lines skipped\n",
-				*journalPath, st.Loaded, st.Corrupt)
-		}
 		ctx.Journal = jn
+		if st := jn.Stats(); st.Loaded > 0 || st.Corrupt > 0 {
+			log.Info("journal loaded",
+				"path", *journalPath, "cells_loaded", st.Loaded, "lines_corrupt", st.Corrupt)
+		}
 	}
 	if *chaosSpec != "" {
 		cfg, err := chaos.Parse(*chaosSpec)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sweepexp: %v\n", err)
-			os.Exit(1)
+			fail("chaos spec invalid", "spec", *chaosSpec, "err", err)
 		}
 		ctx.Chaos = chaos.New(cfg)
+		info.ChaosSpec = *chaosSpec
+		info.ChaosSeed = cfg.Seed
 	}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "sweepexp: %v\n", err)
-			os.Exit(1)
+			fail("trace directory", "err", err)
 		}
 		ctx.TraceDir = *traceDir
+	}
+
+	if *listen != "" {
+		tracker := obs.NewCampaignTracker(log)
+		ctx.Tracker = tracker
+		if ctx.Journal != nil {
+			st := ctx.Journal.Stats()
+			tracker.SetJournalStats(st.Loaded, st.Corrupt)
+		}
+		stopWatchdog := tracker.StartWatchdog(2*time.Second, 4)
+		defer stopWatchdog()
+		srv := &obs.Server{Info: info, Tracker: tracker, Extra: ctx.MetricsSnapshot, Log: log}
+		shutdown, err := srv.Serve(*listen)
+		if err != nil {
+			fail("introspection server", "err", err)
+		}
+		defer shutdown()
 	}
 
 	var stopProfiles func() error
 	if *pprofPrefix != "" {
 		stop, err := telemetry.StartProfiles(*pprofPrefix)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sweepexp: %v\n", err)
-			os.Exit(1)
+			fail("profile start failed", "err", err)
 		}
 		stopProfiles = stop
 	}
@@ -234,44 +279,45 @@ func main() {
 	for _, e := range experiments {
 		if *name == "all" || *name == e.name {
 			ran = true
+			ctx.Tracker.BeginPhase(e.name)
+			log.Debug("experiment starting", "exp", e.name)
 			if err := e.run(ctx); err != nil {
 				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-					fmt.Fprintf(os.Stderr, "sweepexp: %s: interrupted: %v\n", e.name, err)
+					log.Error("interrupted", "exp", e.name, "err", err)
 					if *journalPath != "" {
-						fmt.Fprintf(os.Stderr, "sweepexp: completed cells are journaled in %s — rerun with the same flags to resume\n", *journalPath)
+						st := ctx.Journal.Stats()
+						log.Info("completed cells are journaled — rerun with the same flags to resume",
+							"journal", *journalPath,
+							"cells_loaded", st.Loaded, "cells_appended", st.Appends,
+							"lines_corrupt", st.Corrupt)
 					}
 					os.Exit(130)
 				}
-				fmt.Fprintf(os.Stderr, "sweepexp: %s: %v\n", e.name, err)
-				os.Exit(1)
+				fail("experiment failed", "exp", e.name, "err", err)
 			}
 		}
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "sweepexp: unknown experiment %q (use -list)\n", *name)
-		os.Exit(1)
+		fail("unknown experiment (use -list)", "exp", *name)
 	}
 
 	if stopProfiles != nil {
 		if err := stopProfiles(); err != nil {
-			fmt.Fprintf(os.Stderr, "sweepexp: %v\n", err)
-			os.Exit(1)
+			fail("profile stop failed", "err", err)
 		}
 	}
-	if ctx.Metrics != nil {
+	if ctx.Metrics != nil && *metricsFile != "" {
 		out := os.Stdout
 		if *metricsFile != "-" {
 			f, err := os.Create(*metricsFile)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "sweepexp: %v\n", err)
-				os.Exit(1)
+				fail("metrics file", "err", err)
 			}
 			defer f.Close()
 			out = f
 		}
-		if err := ctx.Metrics.WriteText(out); err != nil {
-			fmt.Fprintf(os.Stderr, "sweepexp: %v\n", err)
-			os.Exit(1)
+		if err := ctx.MetricsSnapshot().WriteText(out); err != nil {
+			fail("metrics write failed", "err", err)
 		}
 	}
 }

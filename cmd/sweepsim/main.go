@@ -15,7 +15,9 @@
 // Chrome trace_event format, loadable in Perfetto or chrome://tracing.
 // -metrics writes the run's metrics snapshot as text ("-" for stdout).
 // -pprof <prefix> writes <prefix>.cpu.pb.gz and <prefix>.mem.pb.gz for
-// `go tool pprof`.
+// `go tool pprof`. -listen serves live /metrics, /progress, /healthz,
+// and /runinfo while the simulation runs (docs/OBSERVABILITY.md);
+// -logfmt/-v control the structured stderr logging.
 package main
 
 import (
@@ -23,19 +25,26 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 
 	"repro/internal/arch"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/ir"
+	"repro/internal/obs"
+	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
+
+// logger is the process logger, installed by main before any fail().
+var logger = slog.Default()
 
 var schemeNames = map[string]arch.Kind{
 	"nvp":       arch.NVP,
@@ -69,8 +78,18 @@ func main() {
 	pprofPrefix := flag.String("pprof", "", "write <prefix>.cpu.pb.gz and <prefix>.mem.pb.gz profiles")
 	paramsFile := flag.String("params", "", "JSON file of config.Params overrides (validated before the run)")
 	timeout := flag.Duration("timeout", 0, "cancel the simulation after this duration (0 = none)")
+	listen := flag.String("listen", "", "serve live /metrics, /progress, /healthz, /runinfo on this address (e.g. :8090)")
+	logfmt := flag.String("logfmt", "text", "log format: text|json")
+	verbose := flag.Bool("v", false, "debug logging")
 	list := flag.Bool("list", false, "list workloads and schemes")
 	flag.Parse()
+
+	log, err := obs.NewLogger(os.Stderr, *logfmt, *verbose)
+	if err != nil {
+		slog.Error("sweepsim: bad -logfmt", "err", err)
+		os.Exit(2)
+	}
+	logger = log
 
 	if *list {
 		fmt.Println("workloads:", strings.Join(workloads.Names(), " "))
@@ -121,6 +140,31 @@ func main() {
 		fail("%v", err)
 	}
 
+	// Live introspection: a one-cell campaign. /metrics carries the
+	// final simulation snapshot once the run completes.
+	var tracker *obs.CampaignTracker
+	var resSnap atomic.Pointer[telemetry.Snapshot]
+	if *listen != "" {
+		tracker = obs.NewCampaignTracker(log)
+		info := obs.NewRunInfo("sweepsim", sim.EngineVersion)
+		info.ParamsFP = p.Fingerprint()
+		info.Seed = *seed
+		info.Scale = *scale
+		srv := &obs.Server{Info: info, Tracker: tracker, Log: log,
+			Extra: func() *telemetry.Snapshot {
+				if s := resSnap.Load(); s != nil {
+					return s
+				}
+				return telemetry.NewSnapshot()
+			}}
+		shutdown, err := srv.Serve(*listen)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer shutdown()
+		tracker.AddCells([]obs.CellMeta{{Workload: *bench, Scheme: *scheme, Profile: *traceName}})
+	}
+
 	if *pprofPrefix != "" {
 		stop, err := telemetry.StartProfiles(*pprofPrefix)
 		if err != nil {
@@ -165,6 +209,7 @@ func main() {
 	}
 
 	build := func() *ir.Program { return w.Build(*scale) }
+	tracker.Start(0, 0)
 	res, err := core.RunTracedCtx(runCtx, build, kind, p, src, tr)
 	if cerr := tr.Close(); cerr != nil && err == nil {
 		err = cerr
@@ -175,12 +220,15 @@ func main() {
 		}
 	}
 	if err != nil {
+		tracker.Fail(0, 0, err, false)
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			fmt.Fprintf(os.Stderr, "sweepsim: interrupted: %v\n", err)
+			logger.Error("interrupted", "err", err)
 			os.Exit(130)
 		}
 		fail("%v", err)
 	}
+	tracker.Done(0, 0)
+	resSnap.Store(res.Metrics())
 
 	fmt.Printf("%s on %s", *bench, res.Scheme)
 	if src != nil {
@@ -209,6 +257,6 @@ func main() {
 }
 
 func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "sweepsim: "+format+"\n", args...)
+	logger.Error(fmt.Sprintf(format, args...))
 	os.Exit(1)
 }

@@ -12,18 +12,32 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/telemetry"
 )
+
+// logger is the process logger, installed by main before any fail().
+var logger = slog.Default()
 
 func main() {
 	sweeps := flag.Int("sweeps", 0, "print the N longest persist-buffer sweeps")
 	outages := flag.Bool("outages", false, "print a per-outage cycle breakdown")
 	chrome := flag.String("chrome", "", "convert the stream to a Chrome/Perfetto trace file")
 	strict := flag.Bool("strict", false, "fail on malformed lines instead of skipping them")
+	logfmt := flag.String("logfmt", "text", "log format: text|json")
+	verbose := flag.Bool("v", false, "debug logging")
 	flag.Parse()
+
+	log, err := obs.NewLogger(os.Stderr, *logfmt, *verbose)
+	if err != nil {
+		slog.Error("sweeptrace: bad -logfmt", "err", err)
+		os.Exit(2)
+	}
+	logger = log
 
 	if flag.NArg() != 1 {
 		fail("usage: sweeptrace [flags] <trace.jsonl>")
@@ -41,7 +55,8 @@ func main() {
 		var skipped int
 		events, skipped, err = telemetry.ReadJSONLTolerant(f)
 		if skipped > 0 {
-			fmt.Fprintf(os.Stderr, "sweeptrace: skipped %d malformed line(s) (rerun with -strict to fail instead)\n", skipped)
+			log.Warn("skipped malformed lines (rerun with -strict to fail instead)",
+				"skipped", skipped, "path", flag.Arg(0))
 		}
 	}
 	f.Close()
@@ -184,6 +199,6 @@ func printSummary(events []telemetry.Event) {
 }
 
 func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "sweeptrace: "+format+"\n", args...)
+	logger.Error(fmt.Sprintf(format, args...))
 	os.Exit(1)
 }

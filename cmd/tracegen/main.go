@@ -11,11 +11,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -23,7 +25,15 @@ func main() {
 	profile := flag.String("profile", "rfoffice", "rfhome|rfoffice|solar|thermal")
 	seed := flag.Int64("seed", 1, "generator seed")
 	duration := flag.Duration("duration", 100*time.Millisecond, "trace length")
+	logfmt := flag.String("logfmt", "text", "log format: text|json")
+	verbose := flag.Bool("v", false, "debug logging")
 	flag.Parse()
+
+	log, err := obs.NewLogger(os.Stderr, *logfmt, *verbose)
+	if err != nil {
+		slog.Error("tracegen: bad -logfmt", "err", err)
+		os.Exit(2)
+	}
 
 	var pr trace.Profile
 	switch *profile {
@@ -36,7 +46,7 @@ func main() {
 	case "thermal":
 		pr = trace.Thermal
 	default:
-		fmt.Fprintf(os.Stderr, "tracegen: unknown profile %q\n", *profile)
+		log.Error("unknown profile", "profile", *profile)
 		os.Exit(1)
 	}
 
@@ -53,7 +63,7 @@ func main() {
 	limit := duration.Nanoseconds()
 	for i := 0; t < limit; i++ {
 		if i%1024 == 0 && ctx.Err() != nil {
-			fmt.Fprintf(os.Stderr, "tracegen: interrupted at %.3f ms\n", float64(t)/1e6)
+			log.Warn("interrupted", "at_ms", float64(t)/1e6)
 			break
 		}
 		d, p := src.Next()

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ir"
 	"repro/internal/journal"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -64,6 +65,12 @@ type Context struct {
 	// mid-run cancellation) for resilience testing. See internal/chaos.
 	Chaos *chaos.Injector
 
+	// Tracker, when non-nil, follows every matrix cell through its state
+	// machine (pending/running/done/failed/journal-skipped) for the live
+	// introspection endpoints. The nil path costs nothing: every hook is
+	// a nil-safe method call carrying only pre-existing values. See
+	// internal/obs and docs/OBSERVABILITY.md.
+	Tracker *obs.CampaignTracker
 	// Metrics, when non-nil, accumulates every simulated run's metrics
 	// snapshot across the (parallel) experiment matrices. Journal-skipped
 	// cells were not simulated and contribute nothing.
@@ -281,6 +288,19 @@ func (c *Context) runMatrix(kinds []arch.Kind, profile *trace.Profile, p config.
 	pname := profileName(profile)
 	fp := p.Fingerprint()
 
+	// Live tracking: register the matrix's cells before the journal pass
+	// so /progress sees skips as skips, not as missing cells. Guarded —
+	// building the meta slice is the one tracker interaction that
+	// allocates, and the nil path must stay allocation-free.
+	var trkBase int
+	if c.Tracker != nil {
+		metas := make([]obs.CellMeta, len(jobs))
+		for i, j := range jobs {
+			metas[i] = obs.CellMeta{Workload: j.w.Name, Scheme: j.k.String(), Profile: pname}
+		}
+		trkBase = c.Tracker.AddCells(metas)
+	}
+
 	// Journal consultation: cells already proven under this exact
 	// configuration are reconstructed, not re-simulated.
 	results := make([]*sim.Result, len(jobs))
@@ -292,6 +312,7 @@ func (c *Context) runMatrix(kinds []arch.Kind, profile *trace.Profile, p config.
 			if rec, ok := c.Journal.Lookup(c.cellID(j, pname, fp)); ok {
 				results[idx] = rec.Result()
 				journalHits++
+				c.Tracker.Skip(trkBase + idx)
 				continue
 			}
 		}
@@ -319,17 +340,28 @@ func (c *Context) runMatrix(kinds []arch.Kind, profile *trace.Profile, p config.
 			defer wg.Done()
 			for idx := range jobCh {
 				j := jobs[idx]
+				// Heartbeat + cell state hooks are nil-safe no-ops when no
+				// tracker is attached; the disabled path allocates nothing
+				// (pinned by TestTrackerHooksNilZeroAlloc).
+				c.Tracker.Heartbeat(i)
 				// A cancelled run drains the queue without simulating:
 				// every undone cell reports the cancellation and the pool
 				// winds down promptly.
 				if err := ctx.Err(); err != nil {
 					errs[idx] = &CellError{Workload: j.w.Name, Scheme: j.k.String(),
 						Profile: pname, Seed: c.Seed, ParamsFP: fp, Err: err}
+					c.Tracker.Fail(i, trkBase+idx, err, false)
 					continue
 				}
+				c.Tracker.Start(i, trkBase+idx)
 				res, err := c.runCell(ctx, j, p, profile, pname, fp)
 				if err != nil {
 					errs[idx] = err
+					if c.Tracker != nil {
+						var ce *CellError
+						panicked := errors.As(err, &ce) && ce.Stack != nil
+						c.Tracker.Fail(i, trkBase+idx, err, panicked)
+					}
 					continue
 				}
 				if c.Journal != nil {
@@ -343,6 +375,11 @@ func (c *Context) runMatrix(kinds []arch.Kind, profile *trace.Profile, p config.
 					}
 				}
 				results[idx] = res
+				if errs[idx] != nil {
+					c.Tracker.Fail(i, trkBase+idx, errs[idx], false)
+				} else {
+					c.Tracker.Done(i, trkBase+idx)
+				}
 			}
 		}()
 	}
@@ -494,6 +531,22 @@ func (c *Context) runJob(ctx context.Context, w workloads.Workload, k arch.Kind,
 		}
 	}
 	return res, nil
+}
+
+// MetricsSnapshot returns a copy of the accumulated simulation metrics,
+// safe to call concurrently with a running matrix — the live /metrics
+// endpoint scrapes it mid-campaign. An empty snapshot when metrics
+// accumulation is off.
+func (c *Context) MetricsSnapshot() *telemetry.Snapshot {
+	out := telemetry.NewSnapshot()
+	if c.Metrics == nil {
+		return out
+	}
+	c.metricsMu.Lock()
+	defer c.metricsMu.Unlock()
+	// Merging into an empty snapshot deep-copies and cannot conflict.
+	_ = out.Merge(c.Metrics)
+	return out
 }
 
 // suites splits the matrix workload names by benchmark suite.

@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+)
+
+// NewLogger builds the structured logger every cmd/ binary shares:
+// format is "text" (human-oriented key=value, the default) or "json"
+// (one object per line, for log shippers), verbose lifts the level from
+// Info to Debug. The logger is installed as slog.Default so library
+// code (the watchdog, the introspection server) logs through the same
+// sink.
+func NewLogger(w io.Writer, format string, verbose bool) (*slog.Logger, error) {
+	if w == nil {
+		w = os.Stderr
+	}
+	level := slog.LevelInfo
+	if verbose {
+		level = slog.LevelDebug
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	switch format {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+	l := slog.New(h)
+	slog.SetDefault(l)
+	return l, nil
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+// WritePrometheus renders a telemetry snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as themselves,
+// histograms as summaries (quantiles + _sum + _count). Metric names are
+// sanitized to the Prometheus grammar — the simulator's dotted names
+// ("cache.hits") become underscored ("cache_hits").
+func WritePrometheus(w io.Writer, s *telemetry.Snapshot) error {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", pn, pn, s.Gauges[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Hists[n]
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", pn); err != nil {
+			return err
+		}
+		for _, q := range [...]float64{0.5, 0.9, 0.99} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %d\n", pn, fmt.Sprintf("%g", q), h.Quantile(q)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", pn, h.Sum, pn, h.N); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps an internal metric name onto the Prometheus name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			if i == 0 && r >= '0' && r <= '9' {
+				b.WriteByte('_')
+				b.WriteRune(r)
+				continue
+			}
+			b.WriteByte('_')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}

@@ -9,6 +9,17 @@ import (
 )
 
 // Counter is a monotonically increasing count.
+//
+// Single-owner rule: a Counter (like a Gauge and a Registry) is owned by
+// exactly one goroutine at a time — the simulation that populates it —
+// and must not be written from two goroutines, nor read while its owner
+// is still writing. Parallel runs each own a private Registry and merge
+// immutable Snapshots afterwards; that hand-off (write, then publish the
+// snapshot) is the only cross-goroutine flow. Anything shared between
+// live goroutines — the campaign tracker's counters, a served /metrics
+// endpoint — must use AtomicCounter or LiveRegistry instead.
+// TestRegistrySingleOwnerHandoff and TestAtomicCounterConcurrent pin
+// both halves of this contract under the race detector.
 type Counter struct{ v uint64 }
 
 // Add increases the counter by n.
@@ -19,6 +30,7 @@ func (c *Counter) Value() uint64 { return c.v }
 
 // Gauge is a point-in-time value. Gauges merge additively across runs
 // (times and energies — the gauges this simulator records — are sums).
+// Gauge follows the same single-owner rule as Counter.
 type Gauge struct{ v float64 }
 
 // Set replaces the gauge value.
@@ -30,8 +42,10 @@ func (g *Gauge) Add(v float64) { g.v += v }
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return g.v }
 
-// Registry is a set of named metrics. It is not safe for concurrent use;
-// parallel runs each populate their own registry and merge Snapshots.
+// Registry is a set of named metrics. It is not safe for concurrent use
+// (see the single-owner rule on Counter); parallel runs each populate
+// their own registry and merge Snapshots. For metrics shared between
+// live goroutines use LiveRegistry.
 type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
