@@ -23,7 +23,7 @@ bench:
 # benchmarks run as a second pass with the default benchtime — they are
 # nanosecond-scale, so 3 iterations would be pure noise.
 bench-json:
-	{ $(GO) test -run '^$$' -bench 'BenchmarkEngineStep|BenchmarkRunOutageFree|BenchmarkRunRFHome' . ; \
+	{ $(GO) test -run '^$$' -bench 'BenchmarkEngineStep|BenchmarkRunOutageFree|BenchmarkRunRFHome|BenchmarkRunBatch' . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkFig5OutageFree|BenchmarkFig6RFHome' -benchtime 3x . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkCacheProbe|BenchmarkCacheDirtySweep|BenchmarkCacheInvalidate|BenchmarkBufferSearch' . ; } \
 		| $(GO) run ./cmd/benchjson -o BENCH_engine.json
@@ -42,7 +42,7 @@ bench-telemetry:
 # Resilience suite under the race detector plus a real SIGKILL
 # kill/resume smoke against the sweepexp binary (docs/ROBUSTNESS.md).
 chaos:
-	$(GO) test -race -count=1 -run 'TestKillResume|TestPanicIsolation|TestRunMatrix|TestCellTimeout|TestCancel|TestOpenTolerance|TestAttemptSalting|TestPanicDeterminism|TestCorruptFile' ./internal/exp/ ./internal/sim/ ./internal/journal/ ./internal/chaos/
+	$(GO) test -race -count=1 -run 'TestKillResume|TestPanicIsolation|TestRunMatrix|TestCellTimeout|TestCancel|TestOpenTolerance|TestAttemptSalting|TestPanicDeterminism|TestCorruptFile|TestRunBatch|TestSeedSweep' ./internal/exp/ ./internal/sim/ ./internal/journal/ ./internal/chaos/
 	./scripts/kill_resume_smoke.sh
 
 check: build vet test

@@ -32,6 +32,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -137,12 +138,23 @@ var experiments = []experiment{
 	{"wt", "Figure 1(b) naive write-through baseline", func(c *exp.Context) error { _, err := c.WT(); return err }},
 }
 
+// extraExperiments run only when named explicitly: a Monte-Carlo seed
+// sweep multiplies the whole Figure 6 matrix by -seeds, so it is not part
+// of 'all'.
+var extraExperiments = []experiment{
+	{"seedsweep", "Monte-Carlo seed sweep: Fig 6 matrix × -seeds timelines, batched (mean ±95% CI)",
+		func(c *exp.Context) error { _, err := c.Sweep(); return err }},
+}
+
 func main() {
 	name := flag.String("exp", "all", "experiment name or 'all'")
 	csv := flag.String("csv", "", "directory to export figure CSVs into")
 	quick := flag.Bool("quick", false, "run the reduced workload subset")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	seed := flag.Int64("seed", 1, "power-trace seed")
+	seeds := flag.Int("seeds", 1, "seed count for -exp seedsweep: timelines seed..seed+seeds-1 per cell")
+	batch := flag.Int("batch", 8, "lockstep batch width for -exp seedsweep")
+	only := flag.String("only", "", "comma-separated workload names to restrict the sweep to")
 	metricsFile := flag.String("metrics", "", "write metrics aggregated across every simulated run to this file ('-' = stdout)")
 	traceDir := flag.String("tracedir", "", "record one JSONL telemetry stream per simulated run into this directory")
 	pprofPrefix := flag.String("pprof", "", "write <prefix>.cpu.pb.gz and <prefix>.mem.pb.gz profiles")
@@ -171,6 +183,9 @@ func main() {
 		for _, e := range experiments {
 			fmt.Printf("%-12s %s\n", e.name, e.desc)
 		}
+		for _, e := range extraExperiments {
+			fmt.Printf("%-12s %s (not part of 'all')\n", e.name, e.desc)
+		}
 		return
 	}
 
@@ -184,6 +199,11 @@ func main() {
 	ctx.Quick = *quick
 	ctx.Scale = *scale
 	ctx.Seed = *seed
+	ctx.Seeds = *seeds
+	ctx.BatchWidth = *batch
+	if *only != "" {
+		ctx.Only = strings.Split(*only, ",")
+	}
 	ctx.Out = os.Stdout
 	ctx.CellTimeout = *cellTimeout
 	if *paramsFile != "" {
@@ -275,9 +295,17 @@ func main() {
 		stopProfiles = stop
 	}
 
+	all := append(append([]experiment{}, experiments...), extraExperiments...)
 	ran := false
-	for _, e := range experiments {
-		if *name == "all" || *name == e.name {
+	for _, e := range all {
+		// Explicitly-named extras run; 'all' covers the standard set only.
+		inAll := true
+		for _, x := range extraExperiments {
+			if e.name == x.name {
+				inAll = false
+			}
+		}
+		if (*name == "all" && inAll) || *name == e.name {
 			ran = true
 			ctx.Tracker.BeginPhase(e.name)
 			log.Debug("experiment starting", "exp", e.name)

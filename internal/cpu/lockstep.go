@@ -1,0 +1,755 @@
+// Lockstep multi-lane execution: N simulation instances that differ only
+// in power-trace seed advance over one shared decoded instruction stream.
+//
+// The key structural fact the batch engine exploits is that the
+// architectural register/PC trajectory of a run does not depend on the
+// power trace: loads return the values the program stored (every scheme's
+// crash-consistency protocol guarantees recovery to the architectural
+// state), and control flow reads only registers. So while lanes are
+// converged — same PC, same registers — the pack executes each
+// instruction's semantics exactly once on a shared core, and only the
+// per-lane quantities (simulated clock, energy accounting, epoch budget,
+// memory-system state) are maintained per lane. Lanes leave the pack at
+// power events (see internal/sim's batch coordinator) and rejoin when
+// their private replay reaches the pack state again.
+//
+// The per-lane scalar state lives in a dense array of one-cache-line
+// laneHot records for the duration of a RunLockstep call, so the hot loop
+// walks contiguous memory with a single bounds check per lane instead of
+// chasing a pointer per lane per slot. Two further reductions keep the
+// shared fast path nearly lane-free:
+//
+//   - The simulated clock advances by the same (integer) ns on every lane
+//     for shared slots, so the per-lane clocks are materialized lazily
+//     from a single accumulated delta — integer addition is associative,
+//     so this is exact. The segment-deadline stop is triggered by one
+//     scalar slack counter (the minimum headroom across lanes), which
+//     under uniform advance crosses zero on exactly the slot the first
+//     lane's deadline fires.
+//   - Energy is order-sensitive (float addition does not commute), so each
+//     lane's Compute accumulator must take every per-slot add in program
+//     order to stay bit-identical to the scalar engine. The shared path
+//     therefore buffers the per-slot energies — identical across lanes —
+//     in a ring and replays them lane-major in flushE, preserving each
+//     lane's add order exactly while hiding the float-add latency. The
+//     per-lane *watermark compare* is hoisted into one shared gate: a
+//     running remainder that starts at the minimum watermark slack across
+//     lanes and subtracts each slot's energy plus a rounding margin that
+//     dominates the float accumulation error. The gate fires at or
+//     (margin-rarely) before the exact crossing slot; on fire the pending
+//     energy is materialized and the per-lane compares run eagerly, so
+//     folds — and therefore budget stops and watermark updates — happen
+//     on exactly the slot the scalar engine folds.
+//
+// Per-lane accounting below reproduces RunEpoch's per-instruction
+// sequence bit for bit: the same ledger adds in the same order, the same
+// Compute watermark, the same exact budget fold, the same latency and
+// segment-deadline stops. The batch differential tests in internal/sim
+// pin the equivalence against the scalar engine lane by lane.
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/energy"
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// LockstepLane is one lane's accounting state while it runs inside the
+// pack. The fields are owned by the batch coordinator between RunLockstep
+// calls; during a call the scalar state lives in the control's laneHot
+// scratch and is written back on return.
+type LockstepLane struct {
+	// MS is the lane's private memory hierarchy; NeedsBackup its
+	// structural-backup query (JIT schemes); Led its live energy ledger;
+	// OnRegionEnd its region-size histogram sink.
+	MS          MemSystem
+	NeedsBackup func() bool
+	Led         *energy.Ledger
+	OnRegionEnd func(int)
+
+	// Now is the lane's simulated clock.
+	Now int64
+	// Epoch state, mirroring RunEpoch: ledger total at epoch start, the
+	// epoch energy budget, the Compute watermark below which the exact
+	// budget fold is skippable, and the absolute segment deadline
+	// (epochStart + segRem - maxInstrNs). A lane outside an epoch (the
+	// precise fallback) carries +Inf budget/watermark and a far deadline,
+	// so none of the epoch stops fire.
+	LedStart    float64
+	Budget      float64
+	CSafe       float64
+	SegDeadline int64
+	// RiOff is the lane's region-length offset: the lane's running
+	// region-instruction count is packRi + RiOff (power cycles reset a
+	// lane's count mid-region without disturbing the pack's).
+	RiOff int
+	// Stop is set when the lane's epoch must close (budget reached,
+	// latency bound, segment deadline, structural backup request, halt).
+	// The pack returns at the end of the slot that set any lane's Stop;
+	// the coordinator settles and re-plans stopped lanes.
+	Stop bool
+}
+
+// laneHot is one lane's per-call epoch state. The lane's live Compute
+// accumulator is NOT here: it lives in the control's contiguous comps
+// array so the shared path's per-slot energy adds walk one cache line
+// for the whole pack instead of striding across lane records.
+type laneHot struct {
+	csafe       float64 // fold watermark
+	ledStart    float64 // ledger total at epoch start
+	budget      float64 // epoch energy budget
+	now         int64   // simulated clock (lazily materialized on shared slots)
+	segDeadline int64   // absolute segment deadline
+	stop        bool
+	_           [7]byte // pad to 48 bytes
+}
+
+// LockstepControl parameterizes RunLockstep. The fields are run-constant
+// except LimitExec/MaxSlots (refreshed per call) and PackRi (in/out: the
+// pack's running region-instruction count).
+type LockstepControl struct {
+	Timing StepTiming
+	// Per-instruction ledger charge, exactly as in RunEpoch: EByNs[ns]
+	// when ns indexes the table, else EInstr + PRun*ns*1e-9.
+	EByNs  []float64
+	EInstr float64
+	PRun   float64
+
+	Jit        bool
+	MaxInstrNs int64 // bound on a single instruction's latency
+	// LimitExec stops the pack before its Executed counter reaches this
+	// (the tightest lane's instruction budget); MaxSlots bounds one call
+	// (cancellation chunking).
+	LimitExec uint64
+	MaxSlots  int
+
+	PackRi int // pack's running region length (in/out)
+
+	// Per-call scratch, reused across calls.
+	hot    []laneHot
+	comps  []float64 // per-lane Compute accumulators (register shadows of Led.Compute)
+	nsBase []int64   // per-lane base latency for the current slot
+	ering  []float64 // pending shared per-slot energies (see flushE)
+
+	// Cross-lane minima/maxima accumulated by retireLane during a general
+	// slot's fan-out, consumed to refresh the shared-path gates without a
+	// second scan over the lanes.
+	accMinSlackE float64
+	accMaxComp   float64
+	accMinSlack  int64
+}
+
+// flushE applies a run of pending shared per-slot energies to every
+// lane's Compute accumulator. Each lane adds the same values in the same
+// order a slot-by-slot loop would, so the result is bit-identical — but
+// the lane-major order with four interleaved accumulator chains hides
+// the float-add latency that a one-add-per-lane-per-slot loop serializes
+// on, and pays the loop overhead once per run instead of once per slot.
+func flushE(comps []float64, es []float64) {
+	if len(comps) == 8 {
+		// Single pass over the ring for the default batch width: eight
+		// independent accumulator chains saturate the FP add ports, and es
+		// is read once instead of twice.
+		c0, c1, c2, c3 := comps[0], comps[1], comps[2], comps[3]
+		c4, c5, c6, c7 := comps[4], comps[5], comps[6], comps[7]
+		for _, e := range es {
+			c0 += e
+			c1 += e
+			c2 += e
+			c3 += e
+			c4 += e
+			c5 += e
+			c6 += e
+			c7 += e
+		}
+		comps[0], comps[1], comps[2], comps[3] = c0, c1, c2, c3
+		comps[4], comps[5], comps[6], comps[7] = c4, c5, c6, c7
+		return
+	}
+	i := 0
+	for ; i+4 <= len(comps); i += 4 {
+		c0, c1, c2, c3 := comps[i], comps[i+1], comps[i+2], comps[i+3]
+		for _, e := range es {
+			c0 += e
+			c1 += e
+			c2 += e
+			c3 += e
+		}
+		comps[i], comps[i+1], comps[i+2], comps[i+3] = c0, c1, c2, c3
+	}
+	for ; i < len(comps); i++ {
+		c := comps[i]
+		for _, e := range es {
+			c += e
+		}
+		comps[i] = c
+	}
+}
+
+// eGate computes the shared watermark gate for the fast path: the minimum
+// fold-watermark slack across lanes, and a per-slot rounding margin some
+// three decimal orders above the worst-case float64 accumulation error of
+// one add at the pack's energy scale. While the shared energy accumulated
+// since the last per-lane check (plus one margin per slot) stays below
+// the slack minimum, no lane's Compute can have reached its watermark,
+// so the per-lane compares are skippable.
+func eGate(hot []laneHot, comps []float64) (minSlackE, gateEps float64) {
+	minSlackE = math.Inf(1)
+	maxComp := 0.0
+	for i := range hot {
+		if sl := hot[i].csafe - comps[i]; sl < minSlackE {
+			minSlackE = sl
+		}
+		if comps[i] > maxComp {
+			maxComp = comps[i]
+		}
+	}
+	return minSlackE, 1e-12 * (maxComp + 1)
+}
+
+// fold is RunEpoch's exact budget fold: refresh the live ledger, compare
+// the epoch's drawn total against the budget, and either stop the lane or
+// advance the watermark by half the remaining slack. Kept out of line so
+// the shared-path per-lane loop stays tight; folds are watermark-rare.
+//
+//go:noinline
+func (h *laneHot) fold(led *energy.Ledger, comp float64) (stop bool) {
+	led.Compute = comp // the fold reads the live ledger field
+	tt := led.Total()
+	if tt-h.ledStart >= h.budget {
+		h.stop = true
+		return true
+	}
+	slack := h.budget - (tt - h.ledStart)
+	if slack > (tt+1)*1e-9 {
+		h.csafe = comp + 0.5*slack
+	} else {
+		h.csafe = comp
+	}
+	return false
+}
+
+// retireLane performs one lane's per-instruction accounting for the
+// general (memory-touching or charged-fetch) path, mirroring the tail of
+// RunEpoch's per-instruction sequence: the ledger Compute add, the clock
+// advance, the structural-backup query after memory-touching
+// instructions, the latency/deadline stops, and the watermark-guarded
+// exact budget fold. Reports whether the lane stopped.
+func (ctl *LockstepControl) retireLane(h *laneHot, ln *LockstepLane, compp *float64, ns int64, memTouch bool) bool {
+	comp := *compp
+	if ns < int64(len(ctl.EByNs)) {
+		comp += ctl.EByNs[ns]
+	} else {
+		comp += ctl.EInstr + ctl.PRun*float64(ns)*1e-9
+	}
+	*compp = comp
+	now := h.now + ns
+	h.now = now
+	needBk := false
+	if ctl.Jit && memTouch {
+		needBk = ln.NeedsBackup()
+	}
+	stop := h.stop
+	if ns >= ctl.MaxInstrNs || now >= h.segDeadline {
+		stop = true
+	}
+	if memTouch || comp >= h.csafe {
+		if h.fold(ln.Led, comp) {
+			stop = true
+		}
+	}
+	// Every lane passes through here on a general slot, so the shared-gate
+	// and deadline minima for the following shared slots are maintained
+	// inline instead of with a separate scan over the lanes.
+	if sl := h.csafe - comp; sl < ctl.accMinSlackE {
+		ctl.accMinSlackE = sl
+	}
+	if comp > ctl.accMaxComp {
+		ctl.accMaxComp = comp
+	}
+	if sl := h.segDeadline - now; sl < ctl.accMinSlack {
+		ctl.accMinSlack = sl
+	}
+	if needBk {
+		stop = true
+	}
+	h.stop = stop
+	return stop
+}
+
+// RunLockstep advances the pack — and every lane's accounting — until any
+// lane stops, the pack halts, MaxSlots retire, or Executed reaches
+// LimitExec. Each instruction's decode/dispatch and register semantics
+// run once on the shared core c; per-lane work is the accounting in
+// retireLane plus, for memory-touching instructions, each lane's private
+// memory-system call at its own clock. Lanes must be converged with the
+// pack on entry; all lanes observe every retired slot.
+//
+// Loads must return the same value on every lane — converged lanes are
+// architecturally identical, so a cross-lane mismatch means a scheme's
+// recovery protocol lost a write, and the pack panics loudly rather than
+// silently splitting the trajectory.
+func (c *CPU) RunLockstep(ctl *LockstepControl, lanes []*LockstepLane) int {
+	if c.Halted || len(lanes) == 0 {
+		return 0
+	}
+	n := len(lanes)
+	if cap(ctl.hot) < n {
+		ctl.hot = make([]laneHot, n)
+		ctl.comps = make([]float64, n)
+		ctl.nsBase = make([]int64, n)
+	}
+	hot := ctl.hot[:n:n]
+	comps := ctl.comps[:n:n]
+	nsBase := ctl.nsBase[:n:n]
+
+	t := ctl.Timing
+	dec := c.dec
+	fetchFree := c.fetchFree
+	eByNs := ctl.EByNs
+	pc := c.PC
+	executed := c.Counts.Executed
+	packRi := ctl.PackRi
+
+	// minSlack is the tightest segment-deadline headroom across lanes.
+	// Shared slots advance every clock by the same ns, so decrementing
+	// this one scalar tracks the exact slot the first deadline fires;
+	// general-path slots advance clocks unevenly and recompute it.
+	minSlack := int64(math.MaxInt64)
+	// nowDelta is the clock advance accumulated by shared slots since the
+	// clocks were last materialized (exact: integer addition commutes).
+	var nowDelta int64
+	for i, ln := range lanes {
+		hot[i] = laneHot{
+			csafe:       ln.CSafe,
+			ledStart:    ln.LedStart,
+			budget:      ln.Budget,
+			now:         ln.Now,
+			segDeadline: ln.SegDeadline,
+		}
+		comps[i] = ln.Led.Compute
+		if sl := ln.SegDeadline - ln.Now; sl < minSlack {
+			minSlack = sl
+		}
+	}
+	// Watermark-gate state for the shared path, kept as a running
+	// remainder: gateRem starts at the minimum watermark slack and each
+	// shared slot subtracts its energy plus the rounding margin, so one
+	// subtract-and-compare decides whether any lane could fold. Pending
+	// energies are buffered in ering and applied lane-major by flushE at
+	// gate fires, memory-system slots, ring overflow, and return.
+	if ctl.ering == nil {
+		ctl.ering = make([]float64, 256)
+	}
+	ering := ctl.ering
+	en := 0
+	minSlackE, gateEps := eGate(hot, comps)
+	gateRem := minSlackE
+	if fetchFree {
+		// With free fetches the base latency is the shared cycle time for
+		// every slot; only charged fetches (NVP) refill this per slot.
+		for i := range nsBase {
+			nsBase[i] = t.CycleNs
+		}
+	}
+
+	slots := 0
+	stopped := false
+	for !stopped && slots < ctl.MaxSlots && executed < ctl.LimitExec {
+		d := &dec[pc]
+		cl := d.Class
+		slots++
+		executed++
+		next := pc + 1
+
+		if fetchFree && isa.ClassFlags[cl]&isa.FlagMemSystem == 0 {
+			// Shared path: the instruction provably never enters any
+			// lane's memory system, so its semantics and latency are
+			// lane-independent; only the energy accounting fans out.
+			ns := t.CycleNs
+			switch cl {
+			case isa.ClassNop:
+
+			case isa.ClassAdd:
+				c.Regs[d.Dst] = c.Regs[d.Src1] + c.Regs[d.Src2]
+			case isa.ClassSub:
+				c.Regs[d.Dst] = c.Regs[d.Src1] - c.Regs[d.Src2]
+			case isa.ClassAnd:
+				c.Regs[d.Dst] = c.Regs[d.Src1] & c.Regs[d.Src2]
+			case isa.ClassOr:
+				c.Regs[d.Dst] = c.Regs[d.Src1] | c.Regs[d.Src2]
+			case isa.ClassXor:
+				c.Regs[d.Dst] = c.Regs[d.Src1] ^ c.Regs[d.Src2]
+			case isa.ClassAddI:
+				c.Regs[d.Dst] = c.Regs[d.Src1] + d.Imm
+			case isa.ClassAndI:
+				c.Regs[d.Dst] = c.Regs[d.Src1] & d.Imm
+			case isa.ClassOrI:
+				c.Regs[d.Dst] = c.Regs[d.Src1] | d.Imm
+			case isa.ClassXorI:
+				c.Regs[d.Dst] = c.Regs[d.Src1] ^ d.Imm
+			case isa.ClassALURR:
+				c.Regs[d.Dst] = isa.EvalALU(d.Op, c.Regs[d.Src1], c.Regs[d.Src2])
+			case isa.ClassALURRMul:
+				c.Regs[d.Dst] = isa.EvalALU(d.Op, c.Regs[d.Src1], c.Regs[d.Src2])
+				ns += (t.MulCycles - 1) * t.CycleNs
+			case isa.ClassALURRDiv:
+				c.Regs[d.Dst] = isa.EvalALU(d.Op, c.Regs[d.Src1], c.Regs[d.Src2])
+				ns += (t.DivCycles - 1) * t.CycleNs
+			case isa.ClassALURI:
+				c.Regs[d.Dst] = isa.EvalALU(d.Op, c.Regs[d.Src1], d.Imm)
+			case isa.ClassALURIMul:
+				c.Regs[d.Dst] = isa.EvalALU(d.Op, c.Regs[d.Src1], d.Imm)
+				ns += (t.MulCycles - 1) * t.CycleNs
+			case isa.ClassMovI:
+				c.Regs[d.Dst] = d.Imm
+			case isa.ClassMov:
+				c.Regs[d.Dst] = c.Regs[d.Src1]
+
+			case isa.ClassBeq:
+				c.Counts.Branches++
+				if c.Regs[d.Src1] == c.Regs[d.Src2] {
+					next = int64(d.Target)
+				}
+			case isa.ClassBne:
+				c.Counts.Branches++
+				if c.Regs[d.Src1] != c.Regs[d.Src2] {
+					next = int64(d.Target)
+				}
+			case isa.ClassBranch:
+				c.Counts.Branches++
+				if isa.BranchTaken(d.Op, c.Regs[d.Src1], c.Regs[d.Src2]) {
+					next = int64(d.Target)
+				}
+			case isa.ClassJmp:
+				next = int64(d.Target)
+			case isa.ClassCall:
+				c.Counts.Calls++
+				c.Regs[isa.LR] = pc + 1
+				next = int64(d.Target)
+			case isa.ClassRet:
+				next = c.Regs[isa.LR]
+			case isa.ClassHalt:
+				c.Halted = true
+				next = pc
+
+			default:
+				panic(fmt.Sprintf("cpu: unknown class %d at pc %d", cl, pc))
+			}
+			pc = next
+			packRi++
+
+			var e float64
+			if ns < int64(len(eByNs)) {
+				e = eByNs[ns]
+			} else {
+				e = ctl.EInstr + ctl.PRun*float64(ns)*1e-9
+			}
+			nowDelta += ns
+			minSlack -= ns
+			if bigNs := ns >= ctl.MaxInstrNs; bigNs || minSlack <= 0 {
+				// A latency or deadline stop fires on exactly this slot:
+				// materialize the clocks and mark the stopping lanes.
+				for i := range hot {
+					hot[i].now += nowDelta
+					if bigNs || hot[i].now >= hot[i].segDeadline {
+						hot[i].stop = true
+						stopped = true
+					}
+				}
+				nowDelta = 0
+			}
+			ering[en] = e
+			en++
+			gateRem -= e + gateEps
+			if gateRem <= 0 {
+				// The earliest possible watermark crossing is on this slot
+				// (or the margin fired a hair early): materialize the
+				// pending energy and run the per-lane compares eagerly,
+				// exactly as the scalar engine would.
+				flushE(comps, ering[:en])
+				en = 0
+				for i := range hot {
+					h := &hot[i]
+					if comps[i] >= h.csafe {
+						if h.fold(lanes[i].Led, comps[i]) {
+							stopped = true
+						}
+					}
+				}
+				minSlackE, gateEps = eGate(hot, comps)
+				gateRem = minSlackE
+			} else if en == len(ering) {
+				// Ring full without a possible crossing: materialize and
+				// keep the gate remainder running.
+				flushE(comps, ering)
+				en = 0
+			}
+			if c.Halted {
+				for i := range hot {
+					hot[i].stop = true
+				}
+				stopped = true
+			}
+			continue
+		}
+
+		// General path: the instruction enters the memory system (or
+		// fetches are charged, so every instruction does). Clocks must be
+		// live for the per-lane memory-system calls; then the per-lane
+		// base latency — NVP pays a private fetch per lane — the class
+		// semantics once, and each lane's memory-system call and
+		// accounting fanned out at its own clock.
+		if nowDelta != 0 {
+			for i := range hot {
+				hot[i].now += nowDelta
+			}
+			nowDelta = 0
+		}
+		if en != 0 {
+			flushE(comps, ering[:en])
+			en = 0
+		}
+		ctl.accMinSlackE = math.Inf(1)
+		ctl.accMaxComp = 0
+		ctl.accMinSlack = math.MaxInt64
+		if !fetchFree {
+			for i, ln := range lanes {
+				h := &hot[i]
+				ln.Led.Compute = comps[i]
+				nsBase[i] = t.CycleNs + ln.MS.Fetch(h.now).Ns
+				comps[i] = ln.Led.Compute
+			}
+		}
+		memTouch := !fetchFree || cl.TouchesMemSystem()
+		var extraNs int64
+		memDone := false
+
+		switch cl {
+		case isa.ClassNop:
+
+		case isa.ClassAdd:
+			c.Regs[d.Dst] = c.Regs[d.Src1] + c.Regs[d.Src2]
+		case isa.ClassSub:
+			c.Regs[d.Dst] = c.Regs[d.Src1] - c.Regs[d.Src2]
+		case isa.ClassAnd:
+			c.Regs[d.Dst] = c.Regs[d.Src1] & c.Regs[d.Src2]
+		case isa.ClassOr:
+			c.Regs[d.Dst] = c.Regs[d.Src1] | c.Regs[d.Src2]
+		case isa.ClassXor:
+			c.Regs[d.Dst] = c.Regs[d.Src1] ^ c.Regs[d.Src2]
+		case isa.ClassAddI:
+			c.Regs[d.Dst] = c.Regs[d.Src1] + d.Imm
+		case isa.ClassAndI:
+			c.Regs[d.Dst] = c.Regs[d.Src1] & d.Imm
+		case isa.ClassOrI:
+			c.Regs[d.Dst] = c.Regs[d.Src1] | d.Imm
+		case isa.ClassXorI:
+			c.Regs[d.Dst] = c.Regs[d.Src1] ^ d.Imm
+		case isa.ClassALURR:
+			c.Regs[d.Dst] = isa.EvalALU(d.Op, c.Regs[d.Src1], c.Regs[d.Src2])
+		case isa.ClassALURRMul:
+			c.Regs[d.Dst] = isa.EvalALU(d.Op, c.Regs[d.Src1], c.Regs[d.Src2])
+			extraNs = (t.MulCycles - 1) * t.CycleNs
+		case isa.ClassALURRDiv:
+			c.Regs[d.Dst] = isa.EvalALU(d.Op, c.Regs[d.Src1], c.Regs[d.Src2])
+			extraNs = (t.DivCycles - 1) * t.CycleNs
+		case isa.ClassALURI:
+			c.Regs[d.Dst] = isa.EvalALU(d.Op, c.Regs[d.Src1], d.Imm)
+		case isa.ClassALURIMul:
+			c.Regs[d.Dst] = isa.EvalALU(d.Op, c.Regs[d.Src1], d.Imm)
+			extraNs = (t.MulCycles - 1) * t.CycleNs
+		case isa.ClassMovI:
+			c.Regs[d.Dst] = d.Imm
+		case isa.ClassMov:
+			c.Regs[d.Dst] = c.Regs[d.Src1]
+
+		case isa.ClassLd, isa.ClassLdB:
+			c.Counts.Loads++
+			addr := c.Regs[d.Src1] + d.Imm
+			byteWide := cl == isa.ClassLdB
+			var v0 int64
+			for i, ln := range lanes {
+				h := &hot[i]
+				ln.Led.Compute = comps[i]
+				v, mc := ln.MS.Load(h.now+nsBase[i], addr, byteWide)
+				comps[i] = ln.Led.Compute
+				if i == 0 {
+					v0 = v
+				} else if v != v0 {
+					panic(fmt.Sprintf("cpu: lockstep load divergence at pc %d addr %#x: lane 0 read %d, lane %d read %d",
+						pc, addr, v0, i, v))
+				}
+				if ctl.retireLane(h, ln, &comps[i], nsBase[i]+mc.Ns, true) {
+					stopped = true
+				}
+			}
+			c.Regs[d.Dst] = v0
+			memDone = true
+		case isa.ClassSt, isa.ClassStB:
+			c.Counts.Stores++
+			addr := c.Regs[d.Src1] + d.Imm
+			val := c.Regs[d.Src2]
+			byteWide := cl == isa.ClassStB
+			for i, ln := range lanes {
+				h := &hot[i]
+				ln.Led.Compute = comps[i]
+				mc := ln.MS.Store(h.now+nsBase[i], addr, val, byteWide)
+				comps[i] = ln.Led.Compute
+				if ctl.retireLane(h, ln, &comps[i], nsBase[i]+mc.Ns, true) {
+					stopped = true
+				}
+			}
+			memDone = true
+
+		case isa.ClassBeq:
+			c.Counts.Branches++
+			if c.Regs[d.Src1] == c.Regs[d.Src2] {
+				next = int64(d.Target)
+			}
+		case isa.ClassBne:
+			c.Counts.Branches++
+			if c.Regs[d.Src1] != c.Regs[d.Src2] {
+				next = int64(d.Target)
+			}
+		case isa.ClassBranch:
+			c.Counts.Branches++
+			if isa.BranchTaken(d.Op, c.Regs[d.Src1], c.Regs[d.Src2]) {
+				next = int64(d.Target)
+			}
+		case isa.ClassJmp:
+			next = int64(d.Target)
+		case isa.ClassCall:
+			c.Counts.Calls++
+			c.Regs[isa.LR] = pc + 1
+			next = int64(d.Target)
+		case isa.ClassRet:
+			next = c.Regs[isa.LR]
+		case isa.ClassHalt:
+			c.Halted = true
+			next = pc
+
+		case isa.ClassCkptSt:
+			c.Counts.CkptStores++
+			addr := ir.CkptSlotAddr(d.Src2)
+			val := c.Regs[d.Src2]
+			for i, ln := range lanes {
+				h := &hot[i]
+				ln.Led.Compute = comps[i]
+				mc := ln.MS.Store(h.now+nsBase[i], addr, val, false)
+				comps[i] = ln.Led.Compute
+				if ctl.retireLane(h, ln, &comps[i], nsBase[i]+mc.Ns, true) {
+					stopped = true
+				}
+			}
+			memDone = true
+		case isa.ClassSavePC:
+			c.Counts.SavePCs++
+			for i, ln := range lanes {
+				h := &hot[i]
+				ln.Led.Compute = comps[i]
+				mc := ln.MS.Store(h.now+nsBase[i], ir.PCSlotAddr, d.Imm, false)
+				comps[i] = ln.Led.Compute
+				if ctl.retireLane(h, ln, &comps[i], nsBase[i]+mc.Ns, true) {
+					stopped = true
+				}
+			}
+			memDone = true
+		case isa.ClassRegionEnd:
+			c.Counts.RegionEnds++
+			for i, ln := range lanes {
+				h := &hot[i]
+				ln.Led.Compute = comps[i]
+				mc := ln.MS.RegionEnd(h.now + nsBase[i])
+				comps[i] = ln.Led.Compute
+				if ctl.retireLane(h, ln, &comps[i], nsBase[i]+mc.Ns, true) {
+					stopped = true
+				}
+			}
+			memDone = true
+		case isa.ClassClwb:
+			c.Counts.Clwbs++
+			addr := c.Regs[d.Src1] + d.Imm
+			for i, ln := range lanes {
+				h := &hot[i]
+				ln.Led.Compute = comps[i]
+				mc := ln.MS.Clwb(h.now+nsBase[i], addr)
+				comps[i] = ln.Led.Compute
+				if ctl.retireLane(h, ln, &comps[i], nsBase[i]+mc.Ns, true) {
+					stopped = true
+				}
+			}
+			memDone = true
+		case isa.ClassFence:
+			c.Counts.Fences++
+			for i, ln := range lanes {
+				h := &hot[i]
+				ln.Led.Compute = comps[i]
+				mc := ln.MS.Fence(h.now + nsBase[i])
+				comps[i] = ln.Led.Compute
+				if ctl.retireLane(h, ln, &comps[i], nsBase[i]+mc.Ns, true) {
+					stopped = true
+				}
+			}
+			memDone = true
+
+		default:
+			panic(fmt.Sprintf("cpu: unknown class %d at pc %d", cl, pc))
+		}
+		pc = next
+
+		if !memDone {
+			// Lane-independent semantics under charged fetches (or a
+			// halt): the per-lane latency is nsBase + the class extra.
+			for i, ln := range lanes {
+				if ctl.retireLane(&hot[i], ln, &comps[i], nsBase[i]+extraNs, memTouch) {
+					stopped = true
+				}
+			}
+		}
+		// General-path retires advance the clocks unevenly and fold every
+		// lane (moving the watermarks); the retires accumulated the fresh
+		// deadline-slack minimum and watermark gate along the way.
+		minSlack = ctl.accMinSlack
+		gateRem = ctl.accMinSlackE
+		gateEps = 1e-12 * (ctl.accMaxComp + 1)
+		if isa.ClassFlags[cl]&isa.FlagDelim != 0 {
+			for _, ln := range lanes {
+				ln.OnRegionEnd(packRi + ln.RiOff)
+				ln.RiOff = 0
+			}
+			packRi = 0
+		} else {
+			packRi++
+		}
+		if c.Halted {
+			for i := range hot {
+				hot[i].stop = true
+			}
+			stopped = true
+		}
+	}
+
+	if nowDelta != 0 {
+		for i := range hot {
+			hot[i].now += nowDelta
+		}
+	}
+	if en != 0 {
+		flushE(comps, ering[:en])
+	}
+	c.PC = pc
+	c.Counts.Executed = executed
+	ctl.PackRi = packRi
+	for i, ln := range lanes {
+		h := &hot[i]
+		ln.Led.Compute = comps[i]
+		ln.CSafe = h.csafe
+		ln.Now = h.now
+		ln.Stop = h.stop
+	}
+	return slots
+}

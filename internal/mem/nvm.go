@@ -106,6 +106,22 @@ func (m *NVM) PokeWord(addr, val int64) {
 // PokeByte writes a byte without counting traffic.
 func (m *NVM) PokeByte(addr int64, v byte) { m.pokeByte(addr, v) }
 
+// PokeImage bulk-writes a byte run starting at addr without counting
+// traffic. It is equivalent to poking each byte in order but copies a
+// page-sized chunk at a time, so loading a program's data image costs a
+// few memcpys instead of a page lookup per word.
+func (m *NVM) PokeImage(addr int64, data []byte) {
+	if addr < 0 || addr+int64(len(data)) > m.size {
+		panic(fmt.Sprintf("mem: image [%#x,%#x) out of range [0,%#x)", addr, addr+int64(len(data)), m.size))
+	}
+	for len(data) > 0 {
+		p := m.page(addr)
+		n := copy(p[addr&(pageSize-1):], data)
+		data = data[n:]
+		addr += int64(n)
+	}
+}
+
 // ReadWord performs a counted 64-bit read.
 func (m *NVM) ReadWord(addr int64) int64 {
 	m.Reads++

@@ -16,11 +16,13 @@ package sim
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
 	"os"
 	"strings"
+	"sync"
 
 	"repro/internal/arch"
 	"repro/internal/config"
@@ -294,14 +296,85 @@ const cancelChunkInstrs = 1 << 20
 // scheme's NVM.
 func InitNVM(s arch.Scheme, l *ir.Linked) {
 	nvm := s.NVM()
+	for _, run := range linkedImage(l) {
+		nvm.PokeImage(run.addr, run.data)
+	}
+}
+
+// imageRun is a contiguous byte run of a program's initial NVM image.
+type imageRun struct {
+	addr int64
+	data []byte
+}
+
+// imageCache memoizes the coalesced NVM image per linked program: the
+// image is a pure function of the Linked (data inits plus the recovery PC
+// slot), and a batch or sweep boots the same program many times, so each
+// boot after the first is a handful of bulk copies instead of a poke per
+// word. The map holds strong references, which also guarantees a cached
+// pointer key cannot be recycled for a different program; the reset cap
+// bounds the footprint.
+var imageCache struct {
+	sync.Mutex
+	m map[*ir.Linked][]imageRun
+}
+
+func linkedImage(l *ir.Linked) []imageRun {
+	imageCache.Lock()
+	defer imageCache.Unlock()
+	if runs, ok := imageCache.m[l]; ok {
+		return runs
+	}
+	var runs []imageRun
+	add := func(addr int64, b ...byte) {
+		if n := len(runs); n > 0 && runs[n-1].addr+int64(len(runs[n-1].data)) == addr {
+			runs[n-1].data = append(runs[n-1].data, b...)
+			return
+		}
+		runs = append(runs, imageRun{addr, append([]byte(nil), b...)})
+	}
+	var w [8]byte
 	for _, di := range l.Prog.Inits {
 		if di.Byte {
-			nvm.PokeByte(di.Addr, byte(di.Val))
+			add(di.Addr, byte(di.Val))
 		} else {
-			nvm.PokeWord(di.Addr, di.Val)
+			binary.LittleEndian.PutUint64(w[:], uint64(di.Val))
+			add(di.Addr, w[:]...)
 		}
 	}
-	nvm.PokeWord(ir.PCSlotAddr, int64(l.EntryPC))
+	binary.LittleEndian.PutUint64(w[:], uint64(l.EntryPC))
+	add(ir.PCSlotAddr, w[:]...)
+	if imageCache.m == nil || len(imageCache.m) >= 64 {
+		imageCache.m = map[*ir.Linked][]imageRun{}
+	}
+	imageCache.m[l] = runs
+	return runs
+}
+
+// eTableCache shares the tabulated per-latency instruction energies across
+// runners: the table is a pure function of (EInstr, PRun) and read-only
+// after construction, so every lane of a batch uses one copy.
+var eTableCache struct {
+	sync.Mutex
+	m map[[2]float64][]float64
+}
+
+func eInstrTable(eInstr, pRun float64) []float64 {
+	key := [2]float64{eInstr, pRun}
+	eTableCache.Lock()
+	defer eTableCache.Unlock()
+	if t, ok := eTableCache.m[key]; ok {
+		return t
+	}
+	t := make([]float64, 4096)
+	for ns := range t {
+		t[ns] = eInstr + pRun*float64(ns)*1e-9
+	}
+	if eTableCache.m == nil || len(eTableCache.m) >= 64 {
+		eTableCache.m = map[[2]float64][]float64{}
+	}
+	eTableCache.m[key] = t
+	return t
 }
 
 // epochMaxInstrNs is the engine's working bound on a single instruction's
@@ -396,8 +469,11 @@ func (r *runner) checkCancel() error {
 	return nil
 }
 
-// Run executes the linked program on the scheme until it halts.
-func Run(l *ir.Linked, s arch.Scheme, opt Options) (*Result, error) {
+// newRunner validates opt, boots the scheme, and builds one run's mutable
+// state — the shared construction path of Run and RunBatch. It leaves the
+// pre-canceled-context check to the caller (Run wants the Result back even
+// then).
+func newRunner(l *ir.Linked, s arch.Scheme, opt Options) (*runner, error) {
 	p := s.Params()
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: invalid params for %s: %w", s.Name(), err)
@@ -442,10 +518,7 @@ func Run(l *ir.Linked, s arch.Scheme, opt Options) (*Result, error) {
 		armed:     true,
 		fetchFree: fetchFree,
 
-		eInstrByNs: make([]float64, 4096),
-	}
-	for ns := range r.eInstrByNs {
-		r.eInstrByNs[ns] = p.EInstr + p.PRun*float64(ns)*1e-9
+		eInstrByNs: eInstrTable(p.EInstr, p.PRun),
 	}
 	if opt.Source != nil {
 		r.cursor = trace.NewCursor(opt.Source)
@@ -453,13 +526,20 @@ func Run(l *ir.Linked, s arch.Scheme, opt Options) (*Result, error) {
 	if opt.Ctx != nil {
 		r.ctx = opt.Ctx
 		r.cancelCountdown = cancelPollInterval
-		// A run that is already canceled does no work at all.
-		if err := r.checkCancel(); err != nil {
-			return r.res, err
-		}
 	}
+	return r, nil
+}
 
-	var err error
+// Run executes the linked program on the scheme until it halts.
+func Run(l *ir.Linked, s arch.Scheme, opt Options) (*Result, error) {
+	r, err := newRunner(l, s, opt)
+	if err != nil {
+		return nil, err
+	}
+	// A run that is already canceled does no work at all.
+	if err := r.checkCancel(); err != nil {
+		return r.res, err
+	}
 	switch {
 	case opt.Precise:
 		err = r.runPrecise()
@@ -570,16 +650,20 @@ func (r *runner) powerCycle() error {
 // and the caller must re-enter its loop from the top.
 func (r *runner) preInstrEvents() (handled bool, err error) {
 	p, s, core, led, cap := &r.p, r.s, r.core, r.led, r.cap
+	jit := s.JIT()
 	// Structural backup request (NvMR rename-table full).
-	if s.JIT() && s.NeedsBackup() {
+	if jit && s.NeedsBackup() {
 		before := led.Total()
 		bcost := s.Backup(r.now, &core.Regs, core.PC)
 		r.tr.Emit(telemetry.EvBackup, r.now, core.PC, bcost.Ns, 0, 0)
 		cap.Draw(led.Total() - before)
 		r.drawRun(bcost.Ns)
 	}
+	// The voltage is re-read only after a draw can have moved it, so the
+	// comparisons below see exactly the values per-compare reads would.
+	v := cap.V()
 	// Voltage-triggered JIT backup.
-	if s.JIT() && r.armed && cap.V() <= p.VBackup {
+	if jit && r.armed && v <= p.VBackup {
 		r.drawRun(p.BackupDelayNs) // T_phl detection delay
 		before := led.Total()
 		bcost := s.Backup(r.now, &core.Regs, core.PC)
@@ -590,18 +674,44 @@ func (r *runner) preInstrEvents() (handled bool, err error) {
 		if !s.ContinuesAfterBackup() {
 			return true, r.powerCycle()
 		}
+		v = cap.V()
 	}
 	// Hard brown-out: SweepCache by design, NvMR while
 	// speculating past its backup.
-	if cap.V() < p.Vmin {
+	if v < p.Vmin {
 		return true, r.powerCycle()
 	}
 	// Re-arm once the source lifts the voltage back up
 	// (NvMR keeps executing through this window).
-	if s.JIT() && !r.armed && cap.V() > p.VBackup+0.02 {
+	if jit && !r.armed && v > p.VBackup+0.02 {
 		r.armed = true
 	}
 	return false, nil
+}
+
+// boundaryEventCheck is preInstrEvents' decision procedure without the
+// event bodies: it reports whether a state-mutating event (structural
+// backup, voltage-triggered JIT backup, brown-out) is due, using exactly
+// the same comparisons in the same order. When none is, it applies the
+// re-arm transition — the one action that touches no core state — so a
+// false return means a full preInstrEvents call would have returned
+// (false, nil) and left the lane's core untouched. The batch engine uses
+// this to reopen epochs without materializing a lane's core view.
+func (r *runner) boundaryEventCheck(jit bool) (pending bool) {
+	if jit && r.s.NeedsBackup() {
+		return true
+	}
+	v := r.cap.V()
+	if jit && r.armed && v <= r.p.VBackup {
+		return true
+	}
+	if v < r.p.Vmin {
+		return true
+	}
+	if jit && !r.armed && v > r.p.VBackup+0.02 {
+		r.armed = true
+	}
+	return false
 }
 
 // preStepEmit reports compiler-inserted checkpoint activity. Callers only

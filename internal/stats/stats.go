@@ -102,6 +102,68 @@ func (h *Hist) Merge(o *Hist) error {
 	return nil
 }
 
+// tCrit95 holds two-sided 95% Student-t critical values by degrees of
+// freedom (index = df) for the small-sample range Monte-Carlo seed sweeps
+// actually use. Larger df fall through to selected rows and then to the
+// normal limit 1.96.
+var tCrit95 = [...]float64{
+	0, // df 0 unused
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// tCrit95Coarse extends the table to large samples: the critical value
+// for the largest tabulated df not exceeding the actual df.
+var tCrit95Coarse = []struct {
+	df int
+	t  float64
+}{
+	{40, 2.021}, {50, 2.009}, {60, 2.000}, {80, 1.990}, {100, 1.984}, {120, 1.980},
+}
+
+// MeanCI returns the sample mean of xs and the half-width of its two-sided
+// 95% confidence interval under the Student-t distribution — the standard
+// summary for a Monte-Carlo seed sweep's per-cell metric. With fewer than
+// two samples the half-width is 0 (no spread estimate exists); the t
+// critical value is exact for df ≤ 30, stepwise through df 120, and the
+// normal-limit 1.96 beyond.
+func MeanCI(xs []float64) (mean, half float64) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	if n < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	df := n - 1
+	var t float64
+	switch {
+	case df < len(tCrit95):
+		t = tCrit95[df]
+	case df > 120:
+		t = 1.96
+	default:
+		t = tCrit95[len(tCrit95)-1] // largest tabulated df ≤ actual
+		for _, row := range tCrit95Coarse {
+			if df >= row.df {
+				t = row.t
+			}
+		}
+	}
+	return mean, t * sd / math.Sqrt(float64(n))
+}
+
 // Geomean returns the geometric mean of xs (which must be positive), or 0
 // for an empty slice.
 func Geomean(xs []float64) float64 {

@@ -137,3 +137,61 @@ func TestGeomean(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestMeanCI(t *testing.T) {
+	cases := []struct {
+		name       string
+		xs         []float64
+		mean, half float64
+	}{
+		{"empty", nil, 0, 0},
+		{"single", []float64{42}, 42, 0},
+		{"pair", []float64{1, 3}, 2, 12.706 * math.Sqrt2 / math.Sqrt2},
+		// {1..5}: sd = sqrt(2.5), t(df=4) = 2.776 → half = 2.776*sqrt(2.5)/sqrt(5)
+		{"five", []float64{1, 2, 3, 4, 5}, 3, 2.776 * math.Sqrt(2.5) / math.Sqrt(5)},
+		{"constant", []float64{7, 7, 7, 7}, 7, 0},
+		{"negatives", []float64{-1, 1}, 0, 12.706 * math.Sqrt2 / math.Sqrt2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			mean, half := MeanCI(c.xs)
+			if math.Abs(mean-c.mean) > 1e-12 {
+				t.Errorf("mean = %g, want %g", mean, c.mean)
+			}
+			if math.Abs(half-c.half) > 1e-9 {
+				t.Errorf("half = %g, want %g", half, c.half)
+			}
+		})
+	}
+}
+
+func TestMeanCICritValues(t *testing.T) {
+	// The t critical value is monotone non-increasing in sample size: a
+	// constant-spread sample's CI half-width times sqrt(n) must shrink.
+	prev := math.Inf(1)
+	for n := 2; n <= 200; n++ {
+		// Samples alternating ±1 around 0: sd is constant-ish per parity;
+		// use exact two-point repetition to keep sd = 1 for even n.
+		xs := make([]float64, n)
+		for i := range xs {
+			if i%2 == 0 {
+				xs[i] = 1
+			} else {
+				xs[i] = -1
+			}
+		}
+		if n%2 != 0 {
+			continue
+		}
+		_, half := MeanCI(xs)
+		sd := math.Sqrt(float64(n) / float64(n-1)) // mean 0, deviations all ±1
+		tcrit := half * math.Sqrt(float64(n)) / sd
+		if tcrit > prev+1e-9 {
+			t.Fatalf("n=%d: t critical %g rose above %g", n, tcrit, prev)
+		}
+		if tcrit < 1.96-1e-9 {
+			t.Fatalf("n=%d: t critical %g below the normal limit", n, tcrit)
+		}
+		prev = tcrit
+	}
+}

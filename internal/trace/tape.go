@@ -58,9 +58,18 @@ func (r *tapeReplay) Next() (int64, float64) {
 // process-wide. Experiment matrices run the same timeline across dozens
 // of (workload, scheme) cells; sharing the tape means the synthetic
 // generator runs once per timeline instead of once per cell.
+//
+// The cache is bounded: a Monte-Carlo seed sweep walks an unbounded seed
+// space, and an unbounded map would pin every timeline ever replayed for
+// the life of the process. Least-recently-used tapes are evicted once the
+// cache exceeds its cap; an evicted timeline is simply regenerated (bit
+// identically) if it is requested again. Replays handed out before an
+// eviction keep their tape alive independently of the cache.
 var (
-	tapesMu sync.Mutex
-	tapes   = map[tapeKey]*Tape{}
+	tapesMu   sync.Mutex
+	tapes     = map[tapeKey]*Tape{}
+	tapeOrder []tapeKey // least recently used first
+	tapeCap   = 64
 )
 
 type tapeKey struct {
@@ -68,16 +77,70 @@ type tapeKey struct {
 	seed int64
 }
 
+// SetTapeCacheCap sets the shared tape cache's maximum entry count and
+// returns the previous cap, evicting least-recently-used tapes if the
+// cache currently exceeds the new cap. Caps below 1 are clamped to 1.
+func SetTapeCacheCap(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	tapesMu.Lock()
+	defer tapesMu.Unlock()
+	prev := tapeCap
+	tapeCap = n
+	evictLocked()
+	return prev
+}
+
+// TapeCacheLen reports the number of memoized timelines currently cached.
+func TapeCacheLen() int {
+	tapesMu.Lock()
+	defer tapesMu.Unlock()
+	return len(tapes)
+}
+
+// FlushSharedTapes drops every cached timeline. Outstanding replays keep
+// working; subsequent NewShared calls regenerate from scratch.
+func FlushSharedTapes() {
+	tapesMu.Lock()
+	defer tapesMu.Unlock()
+	tapes = map[tapeKey]*Tape{}
+	tapeOrder = tapeOrder[:0]
+}
+
+// touchLocked moves k to the most-recently-used end of the order.
+func touchLocked(k tapeKey) {
+	for i, o := range tapeOrder {
+		if o == k {
+			copy(tapeOrder[i:], tapeOrder[i+1:])
+			tapeOrder[len(tapeOrder)-1] = k
+			return
+		}
+	}
+	tapeOrder = append(tapeOrder, k)
+}
+
+func evictLocked() {
+	for len(tapes) > tapeCap {
+		k := tapeOrder[0]
+		tapeOrder = tapeOrder[1:]
+		delete(tapes, k)
+	}
+}
+
 // NewShared returns a source replaying the memoized (profile, seed)
 // timeline — identical, segment for segment, to New(p, seed), but backed
 // by a process-wide tape shared across all cursors of that timeline.
 func NewShared(p Profile, seed int64) Source {
+	k := tapeKey{p, seed}
 	tapesMu.Lock()
-	t := tapes[tapeKey{p, seed}]
+	t := tapes[k]
 	if t == nil {
 		t = NewTape(New(p, seed))
-		tapes[tapeKey{p, seed}] = t
+		tapes[k] = t
 	}
+	touchLocked(k)
+	evictLocked()
 	tapesMu.Unlock()
 	return t.Replay()
 }

@@ -19,7 +19,7 @@ trap 'rm -f "$tmp"' EXIT
 
 # Default benchtime (not -benchtime 3x): the engine benches are sub-ms
 # per op, and the gate needs ~1s of iterations for a stable number.
-go test -run '^$' -bench 'BenchmarkEngineStep|BenchmarkRunOutageFree|BenchmarkRunRFHome' . \
+go test -run '^$' -bench 'BenchmarkEngineStep|BenchmarkRunOutageFree|BenchmarkRunRFHome|BenchmarkRunBatch' . \
   | go run ./cmd/benchjson -o "$tmp"
 
 go run ./cmd/benchcheck -baseline BENCH_engine.json -current "$tmp" "$@"
