@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench bench-json bench-telemetry chaos check clean
+.PHONY: all build test vet bench bench-json bench-telemetry chaos serve service-smoke check clean
 
 all: check
 
@@ -43,7 +43,18 @@ bench-telemetry:
 # kill/resume smoke against the sweepexp binary (docs/ROBUSTNESS.md).
 chaos:
 	$(GO) test -race -count=1 -run 'TestKillResume|TestPanicIsolation|TestRunMatrix|TestCellTimeout|TestCancel|TestOpenTolerance|TestAttemptSalting|TestPanicDeterminism|TestCorruptFile|TestRunBatch|TestSeedSweep' ./internal/exp/ ./internal/sim/ ./internal/journal/ ./internal/chaos/
+	$(GO) test -race -count=1 ./internal/store/ ./internal/service/
 	./scripts/kill_resume_smoke.sh
+
+# Run the simulation server locally (docs/SERVICE.md); cmd/sweepctl is
+# the client.
+serve:
+	$(GO) run ./cmd/sweepd -listen :8077 -store cells.jsonl
+
+# Boot sweepd, replay a mixed workload through sweepctl, restart, and
+# check digests survive every cache tier (scripts/service_smoke.sh).
+service-smoke:
+	./scripts/service_smoke.sh
 
 check: build vet test
 

@@ -279,7 +279,7 @@ func main() {
 		stopWatchdog := tracker.StartWatchdog(2*time.Second, 4)
 		defer stopWatchdog()
 		srv := &obs.Server{Info: info, Tracker: tracker, Extra: ctx.MetricsSnapshot, Log: log}
-		shutdown, err := srv.Serve(*listen)
+		_, shutdown, err := srv.Serve(*listen)
 		if err != nil {
 			fail("introspection server", "err", err)
 		}

@@ -157,7 +157,7 @@ func main() {
 				}
 				return telemetry.NewSnapshot()
 			}}
-		shutdown, err := srv.Serve(*listen)
+		_, shutdown, err := srv.Serve(*listen)
 		if err != nil {
 			fail("%v", err)
 		}

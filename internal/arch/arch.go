@@ -220,6 +220,19 @@ func AllKinds() []Kind {
 	return []Kind{NVP, WTVCache, NVSRAM, NVSRAME, ReplayCache, SweepNVMSearch, SweepEmptyBit, NvMR}
 }
 
+// ParseKind resolves a scheme name (its String form, e.g.
+// "Sweep-EmptyBit") back to its Kind. The service boundary parses
+// client-supplied names through this, so the accepted vocabulary is
+// exactly the presentation names the figures print.
+func ParseKind(name string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
 // EvalKinds lists the schemes of the headline figures (Figures 5–7).
 func EvalKinds() []Kind {
 	return []Kind{ReplayCache, NVSRAM, SweepNVMSearch, SweepEmptyBit}

@@ -27,6 +27,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"sync"
@@ -219,6 +220,12 @@ type Stats struct {
 	Corrupt int // lines skipped at Open (parse, key, or digest failure)
 	Hits    int // Lookup calls that returned a record
 	Appends int // entries appended this session
+	// TailError records a scanner failure during Open — e.g. a line beyond
+	// the 64 MB buffer cap — that made the entire remaining tail of the
+	// file unreadable. Unlike a Corrupt line (one bad entry), a tail error
+	// means an unknown number of valid cells were dropped and will re-run;
+	// it is surfaced distinctly so operators can see the difference.
+	TailError string
 }
 
 // Journal is an open cell journal: an in-memory index over an append-only
@@ -237,13 +244,24 @@ type Journal struct {
 // Open reads (or creates) the journal at path and indexes its valid
 // entries. Corrupt or truncated lines — a crash mid-append leaves at most
 // one — are skipped and counted, never fatal.
+//
+// The file is opened O_APPEND and every append holds an exclusive
+// advisory flock, so multiple processes (service replicas, a resuming
+// batch run beside a live server) can share one journal: appends land
+// whole at the end of the file, never interleaved mid-line. The initial
+// scan holds the shared lock, so it never reads through a half-written
+// line from a concurrent appender.
 func Open(path string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: open %s: %w", path, err)
 	}
 	j := &Journal{f: f, entries: map[string]*Record{}, Fsync: true}
 
+	if err := lockFile(f, false); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: lock %s: %w", path, err)
+	}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
 	for sc.Scan() {
@@ -268,15 +286,19 @@ func Open(path string) (*Journal, error) {
 	}
 	if err := sc.Err(); err != nil {
 		// An unreadable tail (e.g. a line beyond the buffer cap) degrades
-		// to "those cells re-run", same as corruption.
-		j.stats.Corrupt++
+		// to "those cells re-run" — but unlike a single corrupt line it
+		// drops every entry after the failure point, so it is surfaced as
+		// its own field and logged, not folded into the Corrupt count.
+		j.stats.TailError = err.Error()
+		slog.Warn("journal: unreadable tail — entries after the failure point are dropped and those cells will re-run",
+			"path", path, "loaded", j.stats.Loaded, "err", err)
 	}
-	// Position at end for appends (O_APPEND semantics without the flag, so
-	// the scanner above could read from the start).
-	if _, err := f.Seek(0, 2); err != nil {
+	if err := unlockFile(f); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("journal: seek %s: %w", path, err)
+		return nil, fmt.Errorf("journal: unlock %s: %w", path, err)
 	}
+	// No seek needed: O_APPEND routes every write to the end atomically,
+	// which is what lets two processes share one journal file.
 	return j, nil
 }
 
@@ -303,6 +325,14 @@ func (j *Journal) Append(c Cell, rec *Record) error {
 	raw = append(raw, '\n')
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	// Exclusive advisory lock for the write+sync: O_APPEND already lands
+	// the single write() whole at the end of the file, and the lock keeps
+	// concurrent handles (other processes sharing this journal) from
+	// racing a partial write or reordering against the fsync.
+	if err := lockFile(j.f, true); err != nil {
+		return fmt.Errorf("journal: lock for append: %w", err)
+	}
+	defer unlockFile(j.f)
 	if _, err := j.f.Write(raw); err != nil {
 		return fmt.Errorf("journal: append: %w", err)
 	}

@@ -3,8 +3,10 @@ package journal_test
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"repro/internal/arch"
@@ -123,6 +125,114 @@ func TestLookupIsolation(t *testing.T) {
 		if _, ok := j.Lookup(c); ok {
 			t.Errorf("journal served a record across a %s change", name)
 		}
+	}
+}
+
+// TestTwoHandleConcurrentAppend opens the same journal file through two
+// independent handles — the same file-description layout two processes
+// sharing one journal would have — and appends from both concurrently.
+// O_APPEND plus the per-append flock must keep every line whole: a clean
+// reopen recovers every entry with zero corruption. Before the fix
+// (O_RDWR + manual seek-to-end, no lock) the two handles' cached offsets
+// made appends overwrite and tear each other.
+func TestTwoHandleConcurrentAppend(t *testing.T) {
+	rec := journal.FromResult(result(t))
+	path := filepath.Join(t.TempDir(), "shared.jsonl")
+
+	ja, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja.Fsync, jb.Fsync = false, false
+
+	const perHandle = 50
+	var wg sync.WaitGroup
+	appendAll := func(j *journal.Journal, prefix string) {
+		defer wg.Done()
+		for i := 0; i < perHandle; i++ {
+			if err := j.Append(testCell(fmt.Sprintf("%s%03d", prefix, i)), rec); err != nil {
+				t.Errorf("append %s%d: %v", prefix, i, err)
+				return
+			}
+		}
+	}
+	wg.Add(2)
+	go appendAll(ja, "a")
+	go appendAll(jb, "b")
+	wg.Wait()
+	ja.Close()
+	jb.Close()
+
+	j2, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	st := j2.Stats()
+	if st.Corrupt != 0 || st.TailError != "" {
+		t.Errorf("concurrent two-handle appends corrupted the journal: %+v", st)
+	}
+	if st.Loaded != 2*perHandle {
+		t.Errorf("loaded %d entries, want %d", st.Loaded, 2*perHandle)
+	}
+	// Every entry must be intact, not merely parseable: digests re-verify
+	// at Open, so Loaded == total already proves it, but check a sample
+	// lookup from each handle's range.
+	for _, n := range []string{"a000", "a049", "b000", "b049"} {
+		if _, ok := j2.Lookup(testCell(n)); !ok {
+			t.Errorf("entry %s missing after concurrent appends", n)
+		}
+	}
+}
+
+// TestTailErrorSurfaced feeds Open a journal whose tail holds a line
+// beyond the scanner's 64 MB buffer cap. Every entry before the bad line
+// must load, and the scanner failure must surface as Stats.TailError —
+// not be silently folded into the per-line Corrupt count.
+func TestTailErrorSurfaced(t *testing.T) {
+	rec := journal.FromResult(result(t))
+	path := filepath.Join(t.TempDir(), "tail.jsonl")
+	j, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Fsync = false
+	if err := j.Append(testCell("ok"), rec); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One monster line: longer than the 64 MB scanner cap, no newline.
+	chunk := bytes.Repeat([]byte{'x'}, 1<<20)
+	for i := 0; i < 65; i++ {
+		if _, err := f.Write(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+
+	j2, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	st := j2.Stats()
+	if st.Loaded != 1 {
+		t.Errorf("loaded %d entries, want the 1 before the oversized line", st.Loaded)
+	}
+	if st.TailError == "" {
+		t.Error("scanner failure not surfaced in Stats.TailError")
+	}
+	if st.Corrupt != 0 {
+		t.Errorf("tail error double-counted as %d corrupt lines", st.Corrupt)
 	}
 }
 

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package journal
+
+import "os"
+
+// Non-unix platforms have no flock(2); O_APPEND alone still keeps
+// single-process appends intact, and multi-process sharing is only
+// supported where the advisory lock exists.
+
+func lockFile(f *os.File, exclusive bool) error { return nil }
+
+func unlockFile(f *os.File) error { return nil }

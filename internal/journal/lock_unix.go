@@ -1,0 +1,35 @@
+//go:build unix
+
+package journal
+
+import (
+	"os"
+	"syscall"
+)
+
+// Advisory inter-process file locking via flock(2). Locks attach to the
+// open file description, so two Journal handles on the same path — in one
+// process or two — contend with each other, while the in-process mutex
+// keeps a single handle's goroutines ordered. Advisory means a rogue
+// writer that never locks can still interleave; every writer in this
+// repository locks.
+
+// lockFile takes the advisory lock on f: exclusive for writers, shared
+// for the Open scan. Blocks until the lock is granted.
+func lockFile(f *os.File, exclusive bool) error {
+	how := syscall.LOCK_SH
+	if exclusive {
+		how = syscall.LOCK_EX
+	}
+	for {
+		err := syscall.Flock(int(f.Fd()), how)
+		if err != syscall.EINTR {
+			return err
+		}
+	}
+}
+
+// unlockFile releases the advisory lock on f.
+func unlockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

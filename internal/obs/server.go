@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
@@ -84,10 +85,10 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /runinfo", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, s.Info)
+		s.writeJSON(w, s.Info)
 	})
 	mux.HandleFunc("GET /progress", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, s.Tracker.Progress())
+		s.writeJSON(w, s.Tracker.Progress())
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		snap := s.Tracker.Metrics()
@@ -105,21 +106,40 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// writeJSON encodes v to the response. An Encode failure after the first
+// byte is on the wire cannot change the status code anymore, but it is
+// never silently dropped: it is logged so an operator tailing the server
+// log can tell a truncated scrape from a healthy one.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		log := s.Log
+		if log == nil {
+			log = slog.Default()
+		}
+		log.Warn("obs: response encode failed", "err", err)
+	}
 }
+
+// ShutdownGrace is how long Serve's shutdown function waits for in-flight
+// responses to complete before tearing connections down hard.
+const ShutdownGrace = 2 * time.Second
 
 // Serve binds addr (e.g. ":8090") and serves the introspection
 // endpoints in the background until the returned shutdown function is
 // called. The bind itself is synchronous so a bad -listen value fails
-// fast at startup.
-func (s *Server) Serve(addr string) (shutdown func(), err error) {
+// fast at startup; the bound address (useful with ":0") is returned.
+//
+// Shutdown is graceful: in-flight /progress and /metrics responses get
+// ShutdownGrace to finish — a scrape racing campaign completion sees a
+// whole document, not a cut connection — and only connections still open
+// after the grace period are closed hard.
+func (s *Server) Serve(addr string) (bound string, shutdown func(), err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	log := s.Log
 	if log == nil {
@@ -134,5 +154,15 @@ func (s *Server) Serve(addr string) (shutdown func(), err error) {
 	log.Info("introspection server listening",
 		"addr", ln.Addr().String(), "run_id", s.Info.RunID,
 		"endpoints", "/metrics /progress /healthz /runinfo")
-	return func() { srv.Close() }, nil
+	shutdown = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), ShutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			// Grace expired (or the context machinery failed): close hard
+			// rather than leak the listener and hang the caller.
+			log.Warn("obs: graceful shutdown incomplete — closing hard", "err", err)
+			srv.Close()
+		}
+	}
+	return ln.Addr().String(), shutdown, nil
 }

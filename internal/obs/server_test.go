@@ -189,6 +189,76 @@ func TestServerNilTracker(t *testing.T) {
 	}
 }
 
+// TestServeGracefulShutdown pins the shutdown contract: a response in
+// flight when shutdown is called completes in full — the old srv.Close()
+// path reset the connection mid-body. The Extra hook doubles as the
+// blocking point: /metrics calls it, so the test holds a scrape open
+// inside the handler while shutdown begins.
+func TestServeGracefulShutdown(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv := &Server{
+		Info:    NewRunInfo("sweeptest", "engine-test"),
+		Tracker: midCampaign(newFakeClock()),
+		Extra: func() *telemetry.Snapshot {
+			close(entered)
+			<-release
+			s := telemetry.NewSnapshot()
+			s.Counters["slow.scrape"] = 1
+			return s
+		},
+	}
+	addr, shutdown, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type scrape struct {
+		code int
+		body string
+		err  error
+	}
+	got := make(chan scrape, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			got <- scrape{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		got <- scrape{code: resp.StatusCode, body: string(body), err: err}
+	}()
+
+	<-entered // the scrape is inside the handler now
+	done := make(chan struct{})
+	go func() {
+		shutdown()
+		close(done)
+	}()
+	// Give Shutdown a moment to start draining, then let the handler
+	// finish its response.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	sc := <-got
+	if sc.err != nil {
+		t.Fatalf("in-flight scrape aborted by shutdown: %v", sc.err)
+	}
+	if sc.code != http.StatusOK || !strings.Contains(sc.body, "slow_scrape 1") {
+		t.Fatalf("in-flight scrape incomplete: %d\n%s", sc.code, sc.body)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * ShutdownGrace):
+		t.Fatal("shutdown did not return")
+	}
+	// The listener is gone: new connections must fail.
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("server still accepting connections after shutdown")
+	}
+}
+
 func TestPromName(t *testing.T) {
 	cases := map[string]string{
 		"cache.hits":       "cache_hits",

@@ -1,0 +1,130 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to a sweepd instance. The zero HTTP client is fine for
+// localhost; point HTTP at a tuned transport for remote servers.
+type Client struct {
+	// Base is the server root, e.g. "http://localhost:8077".
+	Base string
+	HTTP *http.Client
+}
+
+// NewClient builds a client for base (scheme optional; bare host:port
+// gets "http://").
+func NewClient(base string) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{Base: strings.TrimRight(base, "/"), HTTP: &http.Client{}}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do runs one JSON round trip. in == nil means GET.
+func (c *Client) do(ctx context.Context, path string, in, out any) error {
+	method := http.MethodGet
+	var body io.Reader
+	if in != nil {
+		method = http.MethodPost
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: marshal request: %w", err)
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, body)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return fmt.Errorf("client: read %s: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
+			return fmt.Errorf("client: %s %s: %d: %s", method, path, resp.StatusCode, eb.Error)
+		}
+		return fmt.Errorf("client: %s %s: %d: %s", method, path, resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("client: decode %s: %w", path, err)
+	}
+	return nil
+}
+
+// Cell requests one cell.
+func (c *Client) Cell(ctx context.Context, req CellRequest) (*CellResponse, error) {
+	var resp CellResponse
+	if err := c.do(ctx, "/v1/cell", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Cells requests a batch.
+func (c *Client) Cells(ctx context.Context, reqs []CellRequest) ([]BatchItem, error) {
+	var items []BatchItem
+	if err := c.do(ctx, "/v1/cells", reqs, &items); err != nil {
+		return nil, err
+	}
+	return items, nil
+}
+
+// Stats fetches the service stats document.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	var st Stats
+	if err := c.do(ctx, "/v1/stats", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Health pings /healthz once.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, "/healthz", nil, nil)
+}
+
+// WaitHealthy polls /healthz until the server answers or the deadline
+// passes — the startup handshake for scripts and tests.
+func (c *Client) WaitHealthy(ctx context.Context, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var last error
+	for time.Now().Before(deadline) {
+		if last = c.Health(ctx); last == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	return fmt.Errorf("client: server not healthy after %v: %w", timeout, last)
+}

@@ -1,0 +1,292 @@
+// Package store promotes the cell journal into a tiered, memoized result
+// store — the heart of simulation-as-a-service. A lookup walks two tiers:
+//
+//   - memory: a bounded LRU over *journal.Record, modeled on the shared
+//     trace-tape cache — hot cells cost a map probe, eviction simply
+//     demotes a cell back to "disk-only".
+//   - disk: the durable JSONL journal (internal/journal), which also
+//     gives the store its crash story: every computed cell is fsynced
+//     before the caller sees it, and a restarted store re-serves the
+//     whole corpus from the first Lookup.
+//
+// Misses go through singleflight dedup: N concurrent requests for the
+// same cell key cost exactly one simulation, with the followers blocking
+// on the leader's result. The cell key is the journal's content hash over
+// the full cell identity (workload, scale, scheme, profile, seed, params
+// fingerprint, engine version), so a cached record can never be served
+// across a configuration or model change.
+//
+// Records are treated as immutable once stored; tiers share pointers.
+package store
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/journal"
+	"repro/internal/telemetry"
+)
+
+// Tier names where a record came from.
+type Tier int
+
+const (
+	// TierNone: the record was computed by this call (a miss), or the
+	// lookup failed.
+	TierNone Tier = iota
+	TierMemory
+	TierDisk
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierMemory:
+		return "memory"
+	case TierDisk:
+		return "disk"
+	}
+	return "simulated"
+}
+
+// Stats is a snapshot of the store's counters.
+type Stats struct {
+	MemHits        uint64 `json:"mem_hits"`
+	DiskHits       uint64 `json:"disk_hits"`
+	Misses         uint64 `json:"misses"` // computes actually started
+	DedupCollapses uint64 `json:"dedup_collapses"`
+	Errors         uint64 `json:"errors"` // failed computes
+	InFlight       int    `json:"in_flight"`
+	MemEntries     int    `json:"mem_entries"`
+	MemCap         int    `json:"mem_cap"`
+	// Disk is the underlying journal's view (zero-valued when the store
+	// is memory-only).
+	Disk journal.Stats `json:"disk"`
+}
+
+// DefaultMemCap is the memory tier's entry bound when the caller passes
+// a non-positive cap. Records are a few hundred bytes of counters each,
+// so the default keeps the hot set of a large campaign resident for
+// single-digit megabytes.
+const DefaultMemCap = 4096
+
+// flight is one in-progress compute; followers block on done.
+type flight struct {
+	done chan struct{}
+	rec  *journal.Record
+	err  error
+}
+
+// Store is a tiered, deduplicating result store. Safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	mem     map[string]*journal.Record
+	order   []string // LRU order, least recently used first
+	memCap  int
+	disk    *journal.Journal // nil = memory-only
+	flights map[string]*flight
+	stats   Stats
+	reg     *telemetry.LiveRegistry // optional live counters, may be nil
+}
+
+// New builds a store over an already-open journal (nil for memory-only).
+// memCap bounds the memory tier; non-positive selects DefaultMemCap.
+// The store owns the journal from here: Close closes it.
+func New(disk *journal.Journal, memCap int) *Store {
+	if memCap <= 0 {
+		memCap = DefaultMemCap
+	}
+	return &Store{
+		mem:     make(map[string]*journal.Record),
+		memCap:  memCap,
+		disk:    disk,
+		flights: make(map[string]*flight),
+	}
+}
+
+// Open opens (or creates) the journal at path and builds a store over
+// it. An empty path yields a memory-only store — every restart is cold.
+func Open(path string, memCap int) (*Store, error) {
+	var disk *journal.Journal
+	if path != "" {
+		j, err := journal.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		disk = j
+	}
+	return New(disk, memCap), nil
+}
+
+// SetRegistry attaches a live telemetry registry: the store mirrors its
+// counters (store.mem_hits, store.disk_hits, store.misses,
+// store.dedup_collapses, store.errors) into it as they happen, so a
+// /metrics scrape sees them without locking the store.
+func (s *Store) SetRegistry(reg *telemetry.LiveRegistry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg = reg
+}
+
+// count bumps a live counter if a registry is attached. Called with s.mu
+// held; LiveRegistry counters are atomic, so this never blocks.
+func (s *Store) count(name string) {
+	if s.reg != nil {
+		s.reg.Counter("store." + name).Add(1)
+	}
+}
+
+// touchLocked moves key to the most-recently-used end of the LRU order,
+// appending it if new.
+func (s *Store) touchLocked(key string) {
+	for i, k := range s.order {
+		if k == key {
+			copy(s.order[i:], s.order[i+1:])
+			s.order[len(s.order)-1] = key
+			return
+		}
+	}
+	s.order = append(s.order, key)
+}
+
+// insertLocked puts a record into the memory tier, evicting LRU entries
+// beyond the cap. Eviction only demotes: the record stays on disk.
+func (s *Store) insertLocked(key string, rec *journal.Record) {
+	s.mem[key] = rec
+	s.touchLocked(key)
+	for len(s.mem) > s.memCap {
+		victim := s.order[0]
+		s.order = s.order[1:]
+		delete(s.mem, victim)
+	}
+}
+
+// lookupLocked walks the tiers for key. On a disk hit the record is
+// promoted into the memory tier.
+func (s *Store) lookupLocked(c journal.Cell, key string) (*journal.Record, Tier, bool) {
+	if rec, ok := s.mem[key]; ok {
+		s.stats.MemHits++
+		s.count("mem_hits")
+		s.touchLocked(key)
+		return rec, TierMemory, true
+	}
+	if s.disk != nil {
+		// Lock order is always store.mu -> journal.mu, never the reverse.
+		if rec, ok := s.disk.Lookup(c); ok {
+			s.stats.DiskHits++
+			s.count("disk_hits")
+			s.insertLocked(key, rec)
+			return rec, TierDisk, true
+		}
+	}
+	return nil, TierNone, false
+}
+
+// Lookup returns the cell's record from the fastest tier holding it.
+func (s *Store) Lookup(c journal.Cell) (*journal.Record, Tier, bool) {
+	key := c.Key()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lookupLocked(c, key)
+}
+
+// Put stores a computed record in both tiers: the disk append (durable,
+// fsynced) happens first — outside the store lock, the journal has its
+// own — so the memory tier never holds a record the disk tier could
+// lose, and an fsync never stalls concurrent memory-tier hits. With no
+// disk tier the insert is memory-only.
+func (s *Store) Put(c journal.Cell, rec *journal.Record) error {
+	key := c.Key()
+	if s.disk != nil {
+		if err := s.disk.Append(c, rec); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.insertLocked(key, rec)
+	return nil
+}
+
+// GetOrCompute serves the cell from the fastest tier that has it, or —
+// on a miss — runs compute exactly once however many callers ask
+// concurrently: one leader simulates while followers block on its
+// result (each counted as a dedup collapse). A successful compute is
+// durable (journal append + fsync) before anyone sees it; a failed one
+// is reported to every waiter and cached nowhere, so the next request
+// retries.
+//
+// A follower whose ctx ends stops waiting and returns ctx.Err(); the
+// leader's compute keeps running (it serves the other waiters) under
+// the leader's own ctx.
+func (s *Store) GetOrCompute(ctx context.Context, c journal.Cell, compute func(ctx context.Context) (*journal.Record, error)) (*journal.Record, Tier, error) {
+	key := c.Key()
+	s.mu.Lock()
+	if rec, tier, ok := s.lookupLocked(c, key); ok {
+		s.mu.Unlock()
+		return rec, tier, nil
+	}
+	if f, ok := s.flights[key]; ok {
+		s.stats.DedupCollapses++
+		s.count("dedup_collapses")
+		s.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.rec, TierNone, f.err
+		case <-ctx.Done():
+			return nil, TierNone, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.stats.Misses++
+	s.stats.InFlight++
+	s.count("misses")
+	s.mu.Unlock()
+
+	rec, err := compute(ctx)
+	if err == nil {
+		if perr := s.Put(c, rec); perr != nil {
+			// The cell simulated but its proof is not durable — the
+			// store's contract is "served results are reproducible from
+			// the journal", so this surfaces as a failure, not a success
+			// with silent data loss.
+			rec, err = nil, fmt.Errorf("store: cell computed but not durable: %w", perr)
+		}
+	}
+	s.mu.Lock()
+	if err != nil {
+		s.stats.Errors++
+		s.count("errors")
+	}
+	delete(s.flights, key)
+	s.stats.InFlight--
+	s.mu.Unlock()
+	f.rec, f.err = rec, err
+	close(f.done)
+	return rec, TierNone, err
+}
+
+// Stats snapshots the store's counters, including the disk tier's.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.MemEntries = len(s.mem)
+	st.MemCap = s.memCap
+	if s.disk != nil {
+		st.Disk = s.disk.Stats()
+	}
+	return st
+}
+
+// Close releases the disk tier. In-memory lookups keep working; further
+// computes on a disk-backed store will fail their durable append.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.disk == nil {
+		return nil
+	}
+	return s.disk.Close()
+}

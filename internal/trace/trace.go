@@ -49,6 +49,18 @@ func (p Profile) String() string {
 // Profiles lists all built-in profiles in evaluation order.
 func Profiles() []Profile { return []Profile{RFOffice, RFHome, Solar, Thermal} }
 
+// ParseProfile resolves a profile's String form (e.g. "RFHome") back to
+// the Profile. It does not cover the outage-free case — callers decide
+// what name (if any) selects "no supply trace".
+func ParseProfile(name string) (Profile, bool) {
+	for p, n := range profileNames {
+		if n == name {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
 // New returns a seeded source for the profile.
 func New(p Profile, seed int64) Source {
 	switch p {
