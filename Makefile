@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench bench-json bench-telemetry chaos serve service-smoke check clean
+.PHONY: all build test vet bench bench-json bench-telemetry chaos serve service-smoke dist-smoke check clean
 
 all: check
 
@@ -55,6 +55,14 @@ serve:
 # check digests survive every cache tier (scripts/service_smoke.sh).
 service-smoke:
 	./scripts/service_smoke.sh
+
+# Distributed-campaign chaos: coordinator suite under the race detector,
+# then three real workers vs SIGKILL / SIGSTOP-past-TTL / torn journal,
+# with merged digests diffed against a single-process golden run
+# (scripts/dist_smoke.sh).
+dist-smoke:
+	$(GO) test -race -count=1 ./internal/dist/
+	./scripts/dist_smoke.sh
 
 check: build vet test
 

@@ -1,0 +1,200 @@
+// Command sweepcoord coordinates a distributed campaign: it expands a
+// cell matrix, farms the cells out as TTL-bounded leases to N sweepd
+// workers, and survives worker kills, hangs, stragglers, and torn
+// journals — re-issuing expired leases, hedging stragglers at k×p95,
+// retrying deterministic failures with capped backoff, and quarantining
+// poisoned cells instead of aborting. Accepted completions are merged
+// into one journal and one sorted digest file proven byte-identical to
+// a single-process run.
+//
+// Usage:
+//
+//	sweepcoord -workers host1:8077,host2:8077,host3:8077 \
+//	    -workloads quick -schemes eval -profile RFHome -seeds 2 \
+//	    -journal merged.jsonl -digests merged.txt
+//
+//	sweepcoord -local -workloads quick ... -digests golden.txt
+//
+// -local runs the identical cell set in-process (no workers): the
+// golden reference for digest-identity checks. The final report is JSON
+// on stdout. Exit codes: 0 all cells completed, 3 completed with
+// quarantined cells, 1 hard failure (stall, merge-journal error,
+// cancellation), 2 usage.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"log/slog"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/journal"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+func main() {
+	workers := flag.String("workers", "", "comma-separated sweepd worker addresses (required unless -local)")
+	local := flag.Bool("local", false, "run the campaign in-process instead (golden reference mode)")
+	workloadSpec := flag.String("workloads", "quick", "workload set: quick|all|name,name,...")
+	schemeSpec := flag.String("schemes", "eval", "scheme set: eval|all|Name,Name,... (presentation names)")
+	profile := flag.String("profile", "", "supply profile (RFHome, RFOffice, solar, thermal; '' = outage-free)")
+	seeds := flag.Int("seeds", 1, "seeds per cell (1..N)")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	paramsPath := flag.String("params", "", "JSON params override file (partial, on Table 1 defaults)")
+	journalPath := flag.String("journal", "", "merged journal path for accepted completions")
+	digestsPath := flag.String("digests", "", "write sorted 'key digest' lines here (diffable vs golden)")
+	ttl := flag.Duration("ttl", 30*time.Second, "lease TTL (must exceed worst-case cell time on a healthy worker)")
+	attempts := flag.Int("attempts", 3, "deterministic failures before a cell is quarantined")
+	lanes := flag.Int("lanes", 2, "concurrent leases per worker")
+	hedgeK := flag.Float64("hedge", 4, "hedge stragglers at k×p95 cell latency")
+	stall := flag.Duration("stalltimeout", 2*time.Minute, "fail the campaign after this long with no worker response")
+	timeout := flag.Duration("timeout", 0, "overall campaign deadline (0 = none)")
+	listen := flag.String("listen", "", "serve coordinator /progress,/metrics,/healthz,/runinfo on this address")
+	logfmt := flag.String("logfmt", "text", "log format: text|json")
+	verbose := flag.Bool("v", false, "debug logging")
+	flag.Parse()
+
+	log, err := obs.NewLogger(os.Stderr, *logfmt, *verbose)
+	if err != nil {
+		slog.Error("sweepcoord: bad -logfmt", "err", err)
+		os.Exit(2)
+	}
+	usage := func(msg string, args ...any) {
+		log.Error(msg, args...)
+		os.Exit(2)
+	}
+	fail := func(msg string, args ...any) {
+		log.Error(msg, args...)
+		os.Exit(1)
+	}
+
+	wl, err := dist.ParseWorkloads(*workloadSpec)
+	if err != nil {
+		usage("bad -workloads", "err", err)
+	}
+	sc, err := dist.ParseSchemes(*schemeSpec)
+	if err != nil {
+		usage("bad -schemes", "err", err)
+	}
+	var params json.RawMessage
+	if *paramsPath != "" {
+		raw, err := os.ReadFile(*paramsPath)
+		if err != nil {
+			usage("bad -params", "err", err)
+		}
+		params = raw
+	}
+	seedList := make([]int64, 0, *seeds)
+	for s := int64(1); s <= int64(*seeds); s++ {
+		seedList = append(seedList, s)
+	}
+	spec := dist.MatrixSpec{
+		Workloads: wl, Schemes: sc, Profile: *profile,
+		Seeds: seedList, Scale: *scale, Params: params,
+	}
+	reqs := spec.Requests()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var rep *dist.Report
+	if *local {
+		log.Info("running golden local campaign", "cells", len(reqs))
+		rep, err = dist.RunLocal(ctx, reqs, log)
+		if err != nil {
+			fail("local campaign failed", "err", err)
+		}
+	} else {
+		if *workers == "" {
+			usage("need -workers (or -local)")
+		}
+		var addrs []string
+		for _, w := range strings.Split(*workers, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				addrs = append(addrs, w)
+			}
+		}
+		tracker := obs.NewCampaignTracker(log)
+		if *listen != "" {
+			info := obs.NewRunInfo("sweepcoord", sim.EngineVersion)
+			srv := &obs.Server{Info: info, Tracker: tracker, Log: log}
+			_, shutdown, err := srv.Serve(*listen)
+			if err != nil {
+				fail("introspection server failed", "err", err)
+			}
+			defer shutdown()
+		}
+		cfg := dist.Config{
+			Workers: addrs, LanesPerWorker: *lanes, LeaseTTL: *ttl,
+			MaxAttempts: *attempts, HedgeK: *hedgeK, StallTimeout: *stall,
+			Tracker: tracker, Log: log,
+		}
+		if *journalPath != "" {
+			j, err := journal.Open(*journalPath)
+			if err != nil {
+				fail("merged journal open failed", "path", *journalPath, "err", err)
+			}
+			defer j.Close()
+			cfg.MergeJournal = j
+		}
+		coord, err := dist.New(cfg)
+		if err != nil {
+			usage("bad coordinator config", "err", err)
+		}
+		log.Info("distributed campaign starting",
+			"workers", len(addrs), "cells", len(reqs), "ttl", *ttl,
+			"lanes_per_worker", *lanes, "max_attempts", *attempts)
+		rep, err = coord.Run(ctx, reqs)
+		if err != nil {
+			// Emit what we have before failing: partial accounting beats
+			// none when diagnosing a dead fleet.
+			if rep != nil {
+				log.Info("campaign aborted", "summary", rep.Summary())
+				writeReport(rep, digestsPath, log)
+			}
+			fail("campaign failed", "err", err)
+		}
+	}
+
+	log.Info("campaign finished",
+		"summary", rep.Summary(), "campaign_digest", rep.CampaignDigest())
+	writeReport(rep, digestsPath, log)
+	if len(rep.Quarantined) > 0 {
+		os.Exit(3)
+	}
+}
+
+// writeReport emits the JSON report on stdout and, when requested, the
+// sorted digest lines to their file.
+func writeReport(rep *dist.Report, digestsPath *string, log *slog.Logger) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Error("report encode failed", "err", err)
+	}
+	if *digestsPath == "" {
+		return
+	}
+	f, err := os.Create(*digestsPath)
+	if err != nil {
+		log.Error("digest file create failed", "path", *digestsPath, "err", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := rep.WriteDigests(f); err != nil {
+		log.Error("digest file write failed", "path", *digestsPath, "err", err)
+		os.Exit(1)
+	}
+}

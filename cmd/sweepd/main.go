@@ -106,6 +106,10 @@ func main() {
 			fail("server failed", "err", err)
 		}
 	case <-ctx.Done():
+		// Drain first: /healthz flips to 503 and new leases are refused,
+		// so coordinators re-route while in-flight requests finish under
+		// the shutdown grace.
+		svc.StartDrain()
 		log.Info("shutting down", "grace", obs.ShutdownGrace)
 		sctx, cancel := context.WithTimeout(context.Background(), obs.ShutdownGrace)
 		defer cancel()

@@ -1,0 +1,111 @@
+package dist
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/service"
+)
+
+// Outcome is one accepted cell completion.
+type Outcome struct {
+	Cell service.CellRequest `json:"cell"`
+	// Key/Digest are the cell's content-hash store key and record
+	// digest — the identity the golden comparison pins.
+	Key    string `json:"key"`
+	Digest string `json:"digest"`
+	// Tier says which store tier of the winning worker answered.
+	Tier string `json:"tier"`
+	// Worker is the winning worker's run ID.
+	Worker string `json:"worker"`
+	// Attempts is how many leases the coordinator issued for the cell
+	// (1 = clean first dispatch; more = reissues, retries, or hedges).
+	Attempts int `json:"attempts"`
+}
+
+// Quarantined is one cell the campaign gave up on: reported, never
+// silently dropped.
+type Quarantined struct {
+	Cell      service.CellRequest `json:"cell"`
+	Attempts  int                 `json:"attempts"`
+	LastError string              `json:"last_error"`
+}
+
+// Report is a campaign's full accounting: every completion, every
+// quarantined cell, and the fault-handling counters the chaos suite
+// asserts on.
+type Report struct {
+	Workers []string `json:"workers"`
+
+	Completed   []Outcome     `json:"completed"`
+	Quarantined []Quarantined `json:"quarantined,omitempty"`
+
+	// Reissues counts every re-dispatch for transient causes: expired
+	// leases, connection failures, 502/503/504, hedges, torn responses.
+	Reissues int `json:"reissues"`
+	// Expired counts leases abandoned at their TTL (hung worker or a
+	// cell that outran the TTL).
+	Expired int `json:"expired"`
+	// ConnFailures counts connection-level dispatch failures (dial
+	// refused/reset — the SIGKILL signature).
+	ConnFailures int `json:"conn_failures"`
+	// Hedges counts straggler re-dispatches at HedgeK×p95.
+	Hedges int `json:"hedges"`
+	// Retries counts backoff retries of deterministic cell failures.
+	Retries int `json:"retries"`
+	// Duplicates counts completions that lost the first-wins race
+	// (hedges and duplicated lease deliveries collapse here).
+	Duplicates int `json:"duplicates"`
+	// DigestMismatches counts completions whose record failed its own
+	// digest check, plus duplicate completions disagreeing with the
+	// accepted digest. Nonzero means a worker is corrupting results.
+	DigestMismatches int `json:"digest_mismatches"`
+	// CanceledLeases counts leases canceled after the cell reached a
+	// terminal state elsewhere (stolen work).
+	CanceledLeases int `json:"canceled_leases"`
+}
+
+// digestLines renders one "key digest" line per completion, sorted —
+// the campaign's canonical result-set identity, independent of which
+// worker proved what in which order.
+func (r *Report) digestLines() []string {
+	lines := make([]string, 0, len(r.Completed))
+	for _, o := range r.Completed {
+		lines = append(lines, o.Key+" "+o.Digest)
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// CampaignDigest is a content hash over the sorted (key, digest) pairs
+// of every completed cell. Two campaigns over the same cell set — one
+// process or fifty workers, chaos or no chaos — must produce the same
+// campaign digest, or results differ somewhere.
+func (r *Report) CampaignDigest() string {
+	h := sha256.New()
+	for _, l := range r.digestLines() {
+		io.WriteString(h, l)
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// WriteDigests emits the sorted "key digest" lines, one per completion
+// — the file scripts/dist_smoke.sh diffs against the single-process
+// golden run.
+func (r *Report) WriteDigests(w io.Writer) error {
+	_, err := io.WriteString(w, strings.Join(r.digestLines(), "\n")+"\n")
+	return err
+}
+
+// Summary is a one-line human accounting for logs.
+func (r *Report) Summary() string {
+	return fmt.Sprintf("completed=%d quarantined=%d reissues=%d expired=%d conn_failures=%d hedges=%d retries=%d duplicates=%d digest_mismatches=%d canceled=%d",
+		len(r.Completed), len(r.Quarantined), r.Reissues, r.Expired,
+		r.ConnFailures, r.Hedges, r.Retries, r.Duplicates,
+		r.DigestMismatches, r.CanceledLeases)
+}

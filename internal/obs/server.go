@@ -63,6 +63,22 @@ func NewRunID() string {
 	return hex.EncodeToString(b[:])
 }
 
+// Health states a process can report on /healthz. Anything but
+// HealthOK answers 503, so load balancers and the campaign coordinator
+// route around a worker that is shutting down or serving a poisoned
+// cell set without parsing the body.
+const (
+	HealthOK       = "ok"
+	HealthDegraded = "degraded" // alive, but e.g. quarantined cells > 0
+	HealthDraining = "draining" // shutting down; not accepting new work
+)
+
+// Health is the /healthz verdict.
+type Health struct {
+	State  string `json:"state"` // HealthOK, HealthDegraded, HealthDraining
+	Reason string `json:"reason,omitempty"`
+}
+
 // Server wires the introspection endpoints over a tracker and an
 // optional extra metrics source (the experiment context's accumulated
 // simulation metrics). Tracker and Extra may both be nil; every
@@ -73,7 +89,11 @@ type Server struct {
 	// Extra, when non-nil, returns additional metrics to merge into
 	// /metrics (called per scrape; must be safe for concurrent use).
 	Extra func() *telemetry.Snapshot
-	Log   *slog.Logger
+	// Health, when non-nil, decides the /healthz verdict per probe
+	// (must be safe for concurrent use). nil always answers ok — a
+	// plain campaign binary is healthy for exactly as long as it runs.
+	Health func() Health
+	Log    *slog.Logger
 }
 
 // Handler returns the introspection mux: /metrics, /progress, /healthz,
@@ -81,8 +101,22 @@ type Server struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := Health{State: HealthOK}
+		if s.Health != nil {
+			h = s.Health()
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		if h.State != HealthOK && h.State != "" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		if h.State == "" {
+			h.State = HealthOK
+		}
+		if h.Reason != "" {
+			fmt.Fprintf(w, "%s: %s\n", h.State, h.Reason)
+		} else {
+			fmt.Fprintln(w, h.State)
+		}
 	})
 	mux.HandleFunc("GET /runinfo", func(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, s.Info)

@@ -1,0 +1,25 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffBounds: the jittered backoff stays inside (0, cap] for
+// every retry index, including ones deep enough to overflow a naive
+// shift, and a zero Base falls back to a sane default.
+func TestBackoffBounds(t *testing.T) {
+	p := RetryPolicy{Attempts: 8, Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond}
+	for _, n := range []int{0, 1, 2, 3, 7, 40, 100} {
+		for i := 0; i < 50; i++ {
+			d := p.backoff(n)
+			if d <= 0 || d > p.Cap {
+				t.Fatalf("backoff(%d) = %v outside (0, %v]", n, d, p.Cap)
+			}
+		}
+	}
+	z := RetryPolicy{}
+	if d := z.backoff(0); d <= 0 || d > 50*time.Millisecond {
+		t.Fatalf("zero-policy backoff(0) = %v", d)
+	}
+}

@@ -13,11 +13,13 @@ import (
 //
 //	POST /v1/cell   one CellRequest  -> CellResponse
 //	POST /v1/cells  []CellRequest    -> []BatchItem (concurrent)
-//	GET  /v1/stats  -> Stats (store tiers, dedup, live counters)
+//	POST /v1/lease  LeaseRequest     -> LeaseResponse (503 while draining)
+//	GET  /v1/stats  -> Stats (store tiers, dedup, counters, health)
 //
 // plus the standard introspection endpoints from internal/obs —
-// /healthz, /runinfo, /metrics (Prometheus, including the store's
-// tier counters), /progress (simulating cells) — mounted at the root.
+// /healthz (503 when draining or degraded), /runinfo, /metrics
+// (Prometheus, including the store's tier counters), /progress
+// (simulating cells) — mounted at the root.
 
 // maxBodyBytes bounds request bodies; a cell request is a few hundred
 // bytes, a large batch a few hundred kilobytes.
@@ -45,12 +47,28 @@ func (s *Service) Handler(info obs.RunInfo) http.Handler {
 		}
 		s.writeJSON(w, s.Cells(r.Context(), reqs))
 	})
+	mux.HandleFunc("POST /v1/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req LeaseRequest
+		if !s.decode(w, r, &req) {
+			return
+		}
+		resp, err := s.Lease(r.Context(), req)
+		if err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+		s.writeJSON(w, resp)
+	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, s.Stats())
 	})
+	// Lease responses name this worker by the same run ID /runinfo
+	// advertises.
+	s.workerID = info.RunID
 	// The obs endpoints serve everything else; its Extra hook merges the
-	// store and service counters into /metrics.
-	obsSrv := &obs.Server{Info: info, Tracker: s.tracker, Extra: s.MetricsSnapshot, Log: s.log}
+	// store and service counters into /metrics, and its Health hook turns
+	// /healthz into 503 while draining or degraded.
+	obsSrv := &obs.Server{Info: info, Tracker: s.tracker, Extra: s.MetricsSnapshot, Health: s.Health, Log: s.log}
 	mux.Handle("/", obsSrv.Handler())
 	return mux
 }
@@ -71,14 +89,17 @@ func (s *Service) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 }
 
 // writeError maps service errors to status codes: RequestErrors are the
-// client's fault (400); a dead request context is 499 (client closed,
-// nginx's convention); everything else — simulation failures, durability
-// failures — is a 500.
+// client's fault (400); a draining worker answers 503 so coordinators
+// re-route instead of retrying here; a dead request context is 499
+// (client closed, nginx's convention); everything else — simulation
+// failures, durability failures — is a 500.
 func (s *Service) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	var re *RequestError
 	switch {
 	case errors.As(err, &re):
 		s.httpError(w, http.StatusBadRequest, re.Error())
+	case errors.Is(err, ErrDraining):
+		s.httpError(w, http.StatusServiceUnavailable, err.Error())
 	case r.Context().Err() != nil:
 		s.httpError(w, 499, err.Error())
 	default:

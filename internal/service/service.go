@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"log/slog"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/arch"
@@ -117,6 +119,21 @@ type Service struct {
 	// sem holds simulation slots; the slot index doubles as the obs
 	// worker id, so /progress shows MaxSim stable worker rows.
 	sem chan int
+
+	// workerID identifies this daemon in lease responses; Handler
+	// overrides the default with the run ID from /runinfo so the two
+	// always agree.
+	workerID string
+
+	// draining refuses new leases once shutdown has begun (StartDrain).
+	draining atomic.Bool
+
+	// Quarantine tracking: consecutive compute-failure streaks per cell
+	// key, and the keys that crossed QuarantineThreshold with their last
+	// error. Guarded by qmu; context-derived failures don't count.
+	qmu         sync.Mutex
+	failStreaks map[string]int
+	quarantined map[string]string
 }
 
 // New builds the service and opens its store.
@@ -147,6 +164,9 @@ func New(cfg Config) (*Service, error) {
 		chaos:       cfg.Chaos,
 		cellTimeout: cfg.CellTimeout,
 		sem:         sem,
+		workerID:    obs.NewRunID(),
+		failStreaks: map[string]int{},
+		quarantined: map[string]string{},
 	}
 	if cfg.Tracker != nil {
 		cfg.Tracker.BeginPhase("serve")
@@ -279,11 +299,19 @@ func (s *Service) simulate(ctx context.Context, spec *cellSpec, id journal.Cell)
 		if s.tracker != nil {
 			s.tracker.Fail(slot, idx, err, false)
 		}
+		// A failure with a live context is the cell's own doing (panic,
+		// no-progress, chaos) and counts toward quarantine; a dead context
+		// means the caller walked away or the lease TTL fired — not the
+		// cell's fault.
+		if ctx.Err() == nil {
+			s.noteCellFailure(id.Key(), err)
+		}
 		return nil, err
 	}
 	if s.tracker != nil {
 		s.tracker.Done(slot, idx)
 	}
+	s.noteCellSuccess(id.Key())
 	return journal.FromResult(res), nil
 }
 
@@ -336,12 +364,22 @@ type Stats struct {
 	// Counters are the live service counters (requests, failures, store
 	// tier hits as they accumulate).
 	Counters map[string]uint64 `json:"counters"`
+	// Health mirrors the /healthz verdict so one stats scrape carries it.
+	Health obs.Health `json:"health"`
+	// Quarantined is the current quarantined-cell count (cells that
+	// failed QuarantineThreshold consecutive times).
+	Quarantined int `json:"quarantined"`
 }
 
 // Stats snapshots the service.
 func (s *Service) Stats() Stats {
 	snap := s.reg.Snapshot()
-	return Stats{Store: s.store.Stats(), Counters: snap.Counters}
+	return Stats{
+		Store:       s.store.Stats(),
+		Counters:    snap.Counters,
+		Health:      s.Health(),
+		Quarantined: s.QuarantinedCells(),
+	}
 }
 
 // MetricsSnapshot merges the live counters with point-in-time store
@@ -352,5 +390,6 @@ func (s *Service) MetricsSnapshot() *telemetry.Snapshot {
 	snap.Gauges["store.in_flight"] = float64(st.InFlight)
 	snap.Gauges["store.mem_entries"] = float64(st.MemEntries)
 	snap.Counters["store.disk_loaded"] = uint64(st.Disk.Loaded)
+	snap.Gauges["service.quarantined_cells"] = float64(s.QuarantinedCells())
 	return snap
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -302,5 +303,47 @@ func TestFollowerCancellation(t *testing.T) {
 	}
 	if _, tier, ok := s.Lookup(cellN(1)); !ok || tier != store.TierMemory {
 		t.Fatalf("leader's record missing after follower cancellation (ok=%v tier=%v)", ok, tier)
+	}
+}
+
+// TestTailErrorPropagates pins the operator-visibility chain for a
+// truncated-tail disaster: a journal whose tail the scanner cannot read
+// (a line beyond the 64 MB buffer cap) must surface journal.Stats.
+// TailError through store.Stats().Disk — the same document /v1/stats
+// serves — not be silently folded into the Corrupt count.
+func TestTailErrorPropagates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tail.jsonl")
+	j, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Fsync = false
+	if err := j.Append(cellN(1), recN(1)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := bytes.Repeat([]byte{'x'}, 1<<20)
+	for i := 0; i < 65; i++ { // one 65 MB line, no newline
+		if _, err := f.Write(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+
+	s, err := store.Open(path, 0)
+	if err != nil {
+		t.Fatalf("tolerant open must survive an unreadable tail: %v", err)
+	}
+	defer s.Close()
+	st := s.Stats()
+	if st.Disk.TailError == "" {
+		t.Fatalf("store stats hide the journal tail error: %+v", st.Disk)
+	}
+	if st.Disk.Loaded != 1 {
+		t.Fatalf("entries before the bad tail must load: loaded %d, want 1", st.Disk.Loaded)
 	}
 }
